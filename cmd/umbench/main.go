@@ -1,0 +1,270 @@
+// Command umbench regenerates every table and figure of the paper's
+// evaluation and prints them as text tables — the source of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	umbench [-quick] [-seed N] [-figures 1,2,3,...]
+//
+// Figure names: 1 2 3 4 5 6 7 8 9 e2e 15 18 19 20 68 power. Default: all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"umanycore"
+	"umanycore/internal/textplot"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced-fidelity settings (faster, noisier)")
+	flag.BoolVar(&ascii, "ascii", false, "render ASCII charts next to the tables")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	figures := flag.String("figures", "all", "comma-separated figure list (1..9, e2e, 15, 18, 19, 20, 68, power)")
+	flag.Parse()
+
+	o := umanycore.DefaultExperimentOptions()
+	o.Seed = *seed
+	if *quick {
+		o = o.Quick()
+	}
+
+	want := map[string]bool{}
+	if *figures == "all" {
+		for _, f := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "e2e", "15", "18", "19", "20", "68", "power"} {
+			want[f] = true
+		}
+	} else {
+		for _, f := range strings.Split(*figures, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+
+	runners := []struct {
+		key string
+		fn  func()
+	}{
+		{"1", func() { fig1(o) }},
+		{"2", func() { cdf("Figure 2: CDF of per-server load (RPS)", umanycore.Fig2(o), "%6.0f RPS") }},
+		{"3", func() { fig3(o) }},
+		{"4", func() { cdf("Figure 4: CDF of CPU utilization per request", umanycore.Fig4(o), "%6.2f") }},
+		{"5", func() { cdf("Figure 5: CDF of RPC invocations per request", umanycore.Fig5(o), "%6.0f RPCs") }},
+		{"6", func() { fig6(o) }},
+		{"7", func() { fig7(o) }},
+		{"8", func() { fig8(o) }},
+		{"9", func() { fig9(o) }},
+		{"e2e", func() { endToEnd(o) }},
+		{"15", func() { fig15(o) }},
+		{"18", func() { fig18(o) }},
+		{"19", func() { fig19(o) }},
+		{"20", func() { fig20(o) }},
+		{"68", func() { sec68(o) }},
+		{"power", func() { powerTable() }},
+	}
+	for _, r := range runners {
+		if !want[r.key] {
+			continue
+		}
+		start := time.Now()
+		r.fn()
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", r.key, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// ascii enables chart rendering (set by the -ascii flag).
+var ascii bool
+
+func header(title string) {
+	fmt.Println()
+	fmt.Println(title)
+	fmt.Println(strings.Repeat("-", len(title)))
+}
+
+func fig1(o umanycore.ExperimentOptions) {
+	header("Figure 1: microarchitectural optimizations, monolithic vs microservice speedup")
+	fmt.Printf("%-18s %-14s %10s\n", "optimization", "workload", "speedup")
+	for _, r := range umanycore.Fig1(o) {
+		fmt.Printf("%-18s %-14s %9.2fx\n", r.Optimization, r.Class, r.Speedup)
+	}
+}
+
+func cdf(title string, pts []umanycore.CDFPoint, xfmt string) {
+	header(title)
+	fmt.Printf("%12s %8s\n", "x", "P(X<=x)")
+	for _, p := range pts {
+		fmt.Printf("%12s %8.3f\n", fmt.Sprintf(xfmt, p.X), p.P)
+	}
+	if ascii {
+		var tp []textplot.Point
+		for _, p := range pts {
+			tp = append(tp, textplot.Point{X: p.X, Y: p.P})
+		}
+		fmt.Println(textplot.CDF("", tp, 60, 12))
+	}
+}
+
+func fig3(o umanycore.ExperimentOptions) {
+	header("Figure 3: response time vs number of queues (ScaleOut, 50K RPS)")
+	fmt.Printf("%7s %12s %12s %14s %14s\n", "queues", "avg [us]", "tail [us]", "avg+steal", "tail+steal")
+	for _, r := range umanycore.Fig3(o) {
+		fmt.Printf("%7d %12.1f %12.1f %14.1f %14.1f\n",
+			r.Queues, r.AvgMicros, r.TailMicros, r.AvgStealMicros, r.TailStealMicros)
+	}
+}
+
+func fig6(o umanycore.ExperimentOptions) {
+	header("Figure 6: normalized tail latency vs context-switch overhead (ScaleOut, central dispatcher)")
+	fmt.Printf("%10s %10s %10s %10s\n", "CS cycles", "5K RPS", "10K RPS", "50K RPS")
+	rows6 := umanycore.Fig6(o)
+	for _, r := range rows6 {
+		fmt.Printf("%10d %10.2f %10.2f %10.2f\n",
+			r.CSCycles, r.NormTail[5000], r.NormTail[10000], r.NormTail[50000])
+	}
+	if ascii {
+		var tp []textplot.Point
+		for i, r := range rows6 {
+			tp = append(tp, textplot.Point{X: float64(i), Y: r.NormTail[50000]})
+		}
+		fmt.Println(textplot.Line("norm tail @50K (log y; x = CS sweep index)", tp, 60, 10, true))
+	}
+}
+
+func fig7(o umanycore.ExperimentOptions) {
+	header("Figure 7: tail inflation from ICN contention (normalized to no contention)")
+	fmt.Printf("%10s %10s %10s\n", "RPS", "2D mesh", "fat-tree")
+	rows7 := umanycore.Fig7(o)
+	var bars []textplot.Bar
+	for _, r := range rows7 {
+		fmt.Printf("%10d %9.2fx %9.2fx\n", r.RPS, r.MeshNorm, r.FatTreeNorm)
+		bars = append(bars,
+			textplot.Bar{Label: fmt.Sprintf("%dK mesh", r.RPS/1000), Value: r.MeshNorm},
+			textplot.Bar{Label: fmt.Sprintf("%dK ftree", r.RPS/1000), Value: r.FatTreeNorm})
+	}
+	if ascii {
+		fmt.Println(textplot.BarChart("", bars, 50))
+	}
+}
+
+func fig8(o umanycore.ExperimentOptions) {
+	header("Figure 8: common (shareable) fraction of a handler's footprint")
+	fmt.Printf("%-18s %8s %8s %8s %8s\n", "group", "d-page", "d-line", "i-page", "i-line")
+	for _, r := range umanycore.Fig8(o) {
+		fmt.Printf("%-18s %8.3f %8.3f %8.3f %8.3f\n", r.Group, r.DPage, r.DLine, r.IPage, r.ILine)
+	}
+}
+
+func fig9(o umanycore.ExperimentOptions) {
+	header("Figure 9: TLB and cache hit rates for handler access streams")
+	fmt.Printf("%-14s %-10s %9s\n", "class", "structure", "hit rate")
+	for _, r := range umanycore.Fig9(o) {
+		fmt.Printf("%-14s %-10s %9.3f\n", r.Class, r.Structure, r.HitRate)
+	}
+}
+
+func endToEnd(o umanycore.ExperimentOptions) {
+	rows := umanycore.EndToEnd(o)
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Arch != rows[j].Arch {
+			return rows[i].Arch < rows[j].Arch
+		}
+		if rows[i].RPS != rows[j].RPS {
+			return rows[i].RPS < rows[j].RPS
+		}
+		return rows[i].App < rows[j].App
+	})
+	header("Figures 14/16/17: per-request-type latency in the mixed load (all architectures)")
+	fmt.Printf("%-15s %8s %-9s %12s %12s %8s %6s\n",
+		"arch", "RPS", "app", "avg [us]", "p99 [us]", "p99/avg", "util")
+	for _, r := range rows {
+		fmt.Printf("%-15s %8.0f %-9s %12.1f %12.1f %8.2f %6.3f\n",
+			r.Arch, r.RPS, r.App, r.AvgMicros, r.TailMicros, r.TailToAvg, r.Utilization)
+	}
+	for _, metric := range []string{"tail", "avg"} {
+		for _, red := range umanycore.Reductions(rows, metric) {
+			fmt.Printf("uManycore %s reduction vs %-15s: 5K=%.1fx 10K=%.1fx 15K=%.1fx\n",
+				metric, red.Baseline, red.ByLoad[5000], red.ByLoad[10000], red.ByLoad[15000])
+		}
+	}
+}
+
+func fig15(o umanycore.ExperimentOptions) {
+	rows := umanycore.Fig15(o)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].App < rows[j].App })
+	header("Figure 15: cumulative technique breakdown at 15K RPS (tail reduction vs ScaleOut)")
+	fmt.Printf("%-9s %10s %12s %10s %10s\n", "app", "+villages", "+leaf-spine", "+hw-sched", "+hw-cs")
+	for _, r := range rows {
+		fmt.Printf("%-9s %9.2fx %11.2fx %9.2fx %9.2fx\n", r.App, r.Villages, r.LeafSpine, r.HWSched, r.HWCS)
+	}
+	v, l, h, c := umanycore.Fig15Average(rows)
+	fmt.Printf("%-9s %9.2fx %11.2fx %9.2fx %9.2fx   (paper: 1.1x 2.3x 3.9x 7.4x)\n", "average", v, l, h, c)
+}
+
+func fig18(o umanycore.ExperimentOptions) {
+	rows := umanycore.Fig18(o)
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Arch != rows[j].Arch {
+			return rows[i].Arch < rows[j].Arch
+		}
+		return rows[i].App < rows[j].App
+	})
+	header("Figure 18: maximum QoS-safe throughput (P99 <= 5x contention-free average)")
+	fmt.Printf("%-15s %-9s %12s\n", "arch", "app", "max RPS")
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, r := range rows {
+		fmt.Printf("%-15s %-9s %12.0f\n", r.Arch, r.App, r.MaxRPS)
+		sums[r.Arch] += r.MaxRPS
+		counts[r.Arch]++
+	}
+	umc := sums["uManycore"] / float64(counts["uManycore"])
+	if sc := sums["ServerClass-40"] / float64(counts["ServerClass-40"]); sc > 0 {
+		fmt.Printf("uManycore / ServerClass throughput: %.1fx (paper: 15.5x)\n", umc/sc)
+	}
+	if so := sums["ScaleOut"] / float64(counts["ScaleOut"]); so > 0 {
+		fmt.Printf("uManycore / ScaleOut throughput:    %.1fx (paper: 4.3x)\n", umc/so)
+	}
+}
+
+func fig19(o umanycore.ExperimentOptions) {
+	rows := umanycore.Fig19(o)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].App < rows[j].App })
+	header("Figure 19: uManycore topology sensitivity at 15K RPS (tail normalized to 8x4x32)")
+	fmt.Printf("%-9s %9s %9s %9s %9s\n", "app", "8x4x32", "32x1x32", "32x2x16", "32x4x8")
+	for _, r := range rows {
+		fmt.Printf("%-9s %9.2f %9.2f %9.2f %9.2f\n", r.App,
+			r.NormTail["8x4x32"], r.NormTail["32x1x32"], r.NormTail["32x2x16"], r.NormTail["32x4x8"])
+	}
+}
+
+func fig20(o umanycore.ExperimentOptions) {
+	header("Figure 20: synthetic service-time distributions, absolute P99 [us]")
+	fmt.Printf("%-13s %8s %13s %11s %11s\n", "distribution", "RPS", "ServerClass", "ScaleOut", "uManycore")
+	for _, r := range umanycore.Fig20(o) {
+		fmt.Printf("%-13s %8.0f %13.1f %11.1f %11.1f\n",
+			r.Dist, r.RPS, r.ServerClassTail, r.ScaleOutTail, r.UManycoreTail)
+	}
+}
+
+func sec68(o umanycore.ExperimentOptions) {
+	res := umanycore.Sec68(o)
+	header("Section 6.8: iso-area comparison (128-core ServerClass vs uManycore)")
+	fmt.Printf("%-9s %8s %14s %13s %9s\n", "app", "RPS", "SC-128 p99", "uMC p99", "ratio")
+	for _, r := range res.Rows {
+		fmt.Printf("%-9s %8.0f %14.1f %13.1f %8.2fx\n", r.App, r.RPS, r.SC128Tail, r.UMCTail, r.TailRatio)
+	}
+	fmt.Printf("mean tail ratio: %.2fx (paper: 7.3x)\n", res.MeanTailRatio)
+	fmt.Printf("power ratio:     %.2fx (paper: 3.2x)\n", res.PowerRatio)
+	fmt.Printf("area ratio:      %.2fx (iso-area by construction)\n", res.AreaRatio)
+}
+
+func powerTable() {
+	header("Section 5 / 6.8: package power and area (CACTI + McPAT stand-in)")
+	fmt.Printf("%-16s %10s %12s\n", "package", "power [W]", "area [mm^2]")
+	for _, name := range []string{"uManycore", "ScaleOut", "ServerClass-40", "ServerClass-128"} {
+		fmt.Printf("%-16s %10.1f %12.1f\n", name, umanycore.PackagePower(name), umanycore.PackageArea(name))
+	}
+}

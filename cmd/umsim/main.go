@@ -1,0 +1,148 @@
+// Command umsim runs one end-to-end simulation from flags and prints a
+// result summary — the interactive front door to the simulator.
+//
+// Examples:
+//
+//	umsim -arch umanycore -app CPost -rps 15000
+//	umsim -arch serverclass -cores 128 -mix -rps 10000 -duration 500ms
+//	umsim -arch scaleout -app synthetic:bimodal:10:3 -rps 50000 -bursty
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"umanycore"
+	"umanycore/internal/machine"
+	"umanycore/internal/sim"
+	"umanycore/internal/workload"
+)
+
+func main() {
+	arch := flag.String("arch", "umanycore", "architecture: umanycore | scaleout | serverclass")
+	cores := flag.Int("cores", 40, "ServerClass core count (40 iso-power, 128 iso-area)")
+	appName := flag.String("app", "CPost", "application (Text SGraph User PstStr UsrMnt HomeT CPost UrlShort) or synthetic:<dist>:<mean_us>:<blocks>")
+	mix := flag.Bool("mix", false, "drive the full SocialNetwork request mix instead of one app")
+	rps := flag.Float64("rps", 15000, "offered load (requests/second)")
+	duration := flag.Duration("duration", 400*time.Millisecond, "arrival window (simulated)")
+	warmup := flag.Duration("warmup", 80*time.Millisecond, "measurement warmup (simulated)")
+	bursty := flag.Bool("bursty", false, "use bursty (MMPP) arrivals instead of Poisson")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	queues := flag.Int("queues", 0, "override scheduling-domain count (0 = preset)")
+	csCycles := flag.Int("cs", -1, "override context-switch cycles (-1 = preset)")
+	noContention := flag.Bool("no-icn-contention", false, "disable ICN contention (Fig 7 baseline)")
+	flag.Parse()
+
+	cfg, err := buildConfig(*arch, *cores)
+	if err != nil {
+		fatal(err)
+	}
+	if *queues > 0 {
+		cfg.Domains = *queues
+	}
+	if *csCycles >= 0 {
+		cfg.Policy.CSCycles = *csCycles
+	}
+	if *noContention {
+		cfg.ICNContention = false
+	}
+
+	app, err := buildApp(*appName)
+	if err != nil {
+		fatal(err)
+	}
+
+	rc := umanycore.RunConfig{
+		App:      app,
+		RPS:      *rps,
+		Duration: sim.Time(duration.Nanoseconds()) * umanycore.Nanosecond,
+		Warmup:   sim.Time(warmup.Nanoseconds()) * umanycore.Nanosecond,
+		Seed:     *seed,
+	}
+	if *mix {
+		rc.Mix = umanycore.SocialNetworkMix()
+	}
+	if *bursty {
+		rc.Arrivals = machine.BurstyArrivals
+	}
+
+	start := time.Now()
+	res := umanycore.Run(cfg, rc)
+	elapsed := time.Since(start)
+
+	fmt.Printf("machine      : %s (%d cores, %d domains, %s)\n", res.Machine, cfg.Cores, cfg.Domains, cfg.Topo)
+	fmt.Printf("workload     : %s @ %.0f RPS%s\n", res.App, res.RPS, mixTag(*mix))
+	fmt.Printf("requests     : submitted=%d completed=%d rejected=%d unfinished=%d\n",
+		res.Submitted, res.Completed, res.Rejected, res.Unfinished)
+	fmt.Printf("latency [us] : mean=%.1f p50=%.1f p99=%.1f max=%.1f (p99/mean %.2f)\n",
+		res.Latency.Mean, res.Latency.Median, res.Latency.P99, res.Latency.Max, res.TailToAvg)
+	fmt.Printf("machine      : core-util=%.3f mean-hops=%.2f max-link-util=%.3f\n",
+		res.Utilization, res.MeanHops, res.MaxLinkUtil)
+	fmt.Printf("simulator    : %d events in %v (%.1fM events/s)\n",
+		res.Events, elapsed.Round(time.Millisecond), float64(res.Events)/elapsed.Seconds()/1e6)
+	if len(res.PerRoot) > 1 {
+		fmt.Println("per request type [us]:")
+		catalog := app.Catalog
+		for root := 0; root < len(catalog.Services); root++ {
+			sum, ok := res.PerRoot[root]
+			if !ok {
+				continue
+			}
+			fmt.Printf("  %-9s n=%-7d mean=%9.1f p99=%10.1f\n",
+				catalog.Service(root).Name, sum.N, sum.Mean, sum.P99)
+		}
+	}
+}
+
+func buildConfig(arch string, cores int) (umanycore.Config, error) {
+	switch strings.ToLower(arch) {
+	case "umanycore", "umc":
+		return umanycore.UManycore(), nil
+	case "scaleout", "so":
+		return umanycore.ScaleOut(), nil
+	case "serverclass", "sc":
+		return umanycore.ServerClass(cores), nil
+	default:
+		return umanycore.Config{}, fmt.Errorf("unknown architecture %q", arch)
+	}
+}
+
+func buildApp(name string) (*umanycore.App, error) {
+	if strings.HasPrefix(name, "synthetic:") {
+		parts := strings.Split(name, ":")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("synthetic app format: synthetic:<dist>:<mean_us>:<blocks>")
+		}
+		mean, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad mean %q: %v", parts[2], err)
+		}
+		blocks, err := strconv.Atoi(parts[3])
+		if err != nil {
+			return nil, fmt.Errorf("bad block count %q: %v", parts[3], err)
+		}
+		return workload.SyntheticApp(parts[1], mean, blocks)
+	}
+	for _, a := range umanycore.SocialNetworkApps() {
+		if strings.EqualFold(a.Name, name) {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown application %q (want one of %v)", name, workload.AppNames)
+}
+
+func mixTag(mix bool) string {
+	if mix {
+		return " (mixed SocialNetwork stream)"
+	}
+	return ""
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "umsim:", err)
+	os.Exit(2)
+}

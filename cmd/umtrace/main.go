@@ -1,0 +1,91 @@
+// Command umtrace generates and analyzes Alibaba-like production traces —
+// the §3 characterization inputs (Figs 2, 4, 5). It can emit raw records as
+// CSV or print the marginal statistics the paper reports.
+//
+// Examples:
+//
+//	umtrace -requests 100000 -stats
+//	umtrace -requests 10000 -csv > trace.csv
+//	umtrace -servers 1000 -seconds 60 -load-cdf
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"umanycore/internal/stats"
+	"umanycore/internal/workload"
+)
+
+func main() {
+	n := flag.Int("requests", 50000, "number of request records to draw")
+	servers := flag.Int("servers", 100, "servers for the load CDF")
+	seconds := flag.Int("seconds", 100, "seconds of load per server")
+	seed := flag.Int64("seed", 1, "generator seed")
+	csv := flag.Bool("csv", false, "emit request records as CSV on stdout")
+	loadCDF := flag.Bool("load-cdf", false, "emit the per-second RPS CDF (Fig 2)")
+	showStats := flag.Bool("stats", true, "print marginal statistics")
+	flag.Parse()
+
+	g := workload.NewTraceGen(*seed)
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	if *csv {
+		fmt.Fprintln(w, "duration_us,cpu_util,rpcs")
+		for _, r := range g.Requests(*n) {
+			fmt.Fprintf(w, "%.1f,%.4f,%d\n", r.DurationMicros, r.CPUUtil, r.RPCs)
+		}
+		return
+	}
+
+	if *loadCDF {
+		var s stats.Sample
+		for i := 0; i < *servers; i++ {
+			for _, c := range g.ServerLoad(*seconds) {
+				s.Add(float64(c))
+			}
+		}
+		fmt.Fprintln(w, "rps,cdf")
+		for x := 0.0; x <= 2000; x += 50 {
+			fmt.Fprintf(w, "%.0f,%.4f\n", x, s.CDFAt(x))
+		}
+		return
+	}
+
+	if *showStats {
+		recs := g.Requests(*n)
+		var dur, util, rpcs stats.Sample
+		short := 0
+		var longDur []float64
+		for _, r := range recs {
+			dur.Add(r.DurationMicros)
+			util.Add(r.CPUUtil)
+			rpcs.Add(float64(r.RPCs))
+			if r.DurationMicros < 1000 {
+				short++
+			} else {
+				longDur = append(longDur, r.DurationMicros)
+			}
+		}
+		fmt.Fprintf(w, "records                 : %d\n", *n)
+		fmt.Fprintf(w, "duration <1ms           : %.1f%% (paper: 36.7%%)\n", 100*float64(short)/float64(*n))
+		fmt.Fprintf(w, "geomean long duration   : %.2fms (paper: 2.8ms)\n", stats.GeoMean(longDur)/1000)
+		fmt.Fprintf(w, "median CPU utilization  : %.3f (paper: ~0.14)\n", util.Median())
+		fmt.Fprintf(w, "P99 CPU utilization     : %.3f (paper: <0.60)\n", util.P99())
+		fmt.Fprintf(w, "median RPCs per request : %.1f (paper: ~4.2)\n", rpcs.Median())
+		fmt.Fprintf(w, "frac with >=16 RPCs     : %.1f%% (paper: ~5%%)\n", 100*rpcs.FracAtLeast(16))
+
+		var load stats.Sample
+		for i := 0; i < *servers; i++ {
+			for _, c := range g.ServerLoad(*seconds) {
+				load.Add(float64(c))
+			}
+		}
+		fmt.Fprintf(w, "median server RPS       : %.0f (paper: ~500)\n", load.Median())
+		fmt.Fprintf(w, "frac seconds >=1000 RPS : %.1f%% (paper: ~20%%)\n", 100*load.FracAtLeast(1000))
+		fmt.Fprintf(w, "frac seconds >=1500 RPS : %.1f%% (paper: ~5%%)\n", 100*load.FracAtLeast(1500))
+	}
+}

@@ -1,0 +1,75 @@
+package umanycore_test
+
+import (
+	"fmt"
+
+	"umanycore"
+)
+
+// ExampleRun simulates the default μManycore serving one request type and
+// prints whether its tail met a 2ms SLO. Latencies are deterministic for a
+// fixed seed.
+func ExampleRun() {
+	apps := umanycore.SocialNetworkApps()
+	res := umanycore.Run(umanycore.UManycore(), umanycore.RunConfig{
+		App:      apps[len(apps)-1], // UrlShort
+		RPS:      2000,
+		Duration: 100 * umanycore.Millisecond,
+		Warmup:   20 * umanycore.Millisecond,
+		Seed:     1,
+	})
+	fmt.Println("met 2ms SLO:", res.Latency.P99 < 2000)
+	// Output: met 2ms SLO: true
+}
+
+// ExampleRun_mixed drives the full SocialNetwork request mix and reads the
+// per-type latency summaries.
+func ExampleRun_mixed() {
+	apps := umanycore.SocialNetworkApps()
+	res := umanycore.Run(umanycore.UManycore(), umanycore.RunConfig{
+		App:      apps[0],
+		Mix:      umanycore.SocialNetworkMix(),
+		RPS:      5000,
+		Duration: 100 * umanycore.Millisecond,
+		Warmup:   20 * umanycore.Millisecond,
+		Seed:     1,
+	})
+	fmt.Println("request types measured:", len(res.PerRoot))
+	// Output: request types measured: 8
+}
+
+// ExampleServerClass shows the iso-power baseline collapsing under a load
+// the 1024-core μManycore shrugs off.
+func ExampleServerClass() {
+	apps := umanycore.SocialNetworkApps()
+	run := func(cfg umanycore.Config) float64 {
+		res := umanycore.Run(cfg, umanycore.RunConfig{
+			App: apps[0], Mix: umanycore.SocialNetworkMix(),
+			RPS: 15000, Duration: 150 * umanycore.Millisecond,
+			Warmup: 30 * umanycore.Millisecond, Seed: 3,
+		})
+		return res.Latency.P99
+	}
+	sc := run(umanycore.ServerClass(40))
+	umc := run(umanycore.UManycore())
+	fmt.Println("uManycore wins at 15K RPS:", sc > 2*umc)
+	// Output: uManycore wins at 15K RPS: true
+}
+
+// ExamplePackagePower reads the CACTI/McPAT stand-in's §6.8 numbers.
+func ExamplePackagePower() {
+	iso := umanycore.PackagePower("ServerClass-128") / umanycore.PackagePower("uManycore")
+	fmt.Printf("iso-area ServerClass draws %.1fx the power\n", iso)
+	// Output: iso-area ServerClass draws 3.0x the power
+}
+
+// ExampleSyntheticApp builds a §6.7 synthetic benchmark.
+func ExampleSyntheticApp() {
+	app, err := umanycore.SyntheticApp("bimodal", 10, 4)
+	if err != nil {
+		panic(err)
+	}
+	st := app.Stats()
+	fmt.Println("blocking calls:", st.RPCs)
+	// Output: blocking calls: 4
+}

@@ -1,0 +1,52 @@
+// Quickstart: simulate the three processors of the paper serving the same
+// microservice application at increasing load and watch μManycore's tail
+// stay flat while the conventional ServerClass multicore collapses.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"umanycore"
+)
+
+func main() {
+	apps := umanycore.SocialNetworkApps()
+	var homeTimeline *umanycore.App
+	for _, a := range apps {
+		if a.Name == "HomeT" {
+			homeTimeline = a
+		}
+	}
+
+	configs := []umanycore.Config{
+		umanycore.ServerClass(40), // iso-power conventional multicore
+		umanycore.ScaleOut(),      // 1024 small cores, conventional organization
+		umanycore.UManycore(),     // the paper's design
+	}
+
+	fmt.Println("Mixed SocialNetwork load; HomeTimeline request latency [us]:")
+	fmt.Printf("%-15s %10s %12s %12s %8s\n", "architecture", "RPS", "mean", "p99", "util")
+	for _, cfg := range configs {
+		for _, rps := range []float64{5000, 10000, 15000} {
+			res := umanycore.Run(cfg, umanycore.RunConfig{
+				App:      homeTimeline,
+				Mix:      umanycore.SocialNetworkMix(),
+				RPS:      rps,
+				Duration: 300 * umanycore.Millisecond,
+				Warmup:   60 * umanycore.Millisecond,
+				Seed:     1,
+			})
+			sum := res.PerRoot[homeTimeline.Root]
+			fmt.Printf("%-15s %10.0f %12.1f %12.1f %8.3f\n",
+				cfg.Name, rps, sum.Mean, sum.P99, res.Utilization)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("Why: the hardware request queue dispatches in ~16 cycles, the hardware")
+	fmt.Println("context switch costs 128 cycles instead of thousands, and the leaf-spine")
+	fmt.Println("interconnect gives every village redundant low-hop paths — so queueing")
+	fmt.Println("never compounds the way it does behind a software scheduler.")
+}

@@ -1,0 +1,68 @@
+// Social-network scenario: a 10-server cluster (the paper's evaluation
+// deployment) serving the full request mix, with QoS accounting per request
+// type. This is the workload the paper's introduction motivates: bursty,
+// short, RPC-chained requests with sub-ms SLOs.
+//
+//	go run ./examples/socialnetwork
+package main
+
+import (
+	"fmt"
+
+	"umanycore"
+)
+
+func main() {
+	apps := umanycore.SocialNetworkApps()
+	catalog := apps[0].Catalog
+
+	fmt.Println("=== Application inventory ===")
+	fmt.Printf("%-9s %12s %12s %10s %6s\n", "app", "invocations", "CPU [us]", "CP [us]", "RPCs")
+	for _, a := range apps {
+		st := a.Stats()
+		fmt.Printf("%-9s %12d %12.0f %10.0f %6d\n",
+			a.Name, st.Invocations, st.TotalCPUMicros, st.CriticalPathMicros, st.RPCs)
+	}
+
+	// A 10-server μManycore cluster under the full mix at 15K RPS/server.
+	fmt.Println()
+	fmt.Println("=== 10-server uManycore cluster, 150K RPS total, mixed stream ===")
+	fleet := umanycore.DefaultFleet(umanycore.UManycore())
+	res := umanycore.RunFleet(fleet, apps[0], 150000, umanycore.RunConfig{
+		Mix:      umanycore.SocialNetworkMix(),
+		Duration: 250 * umanycore.Millisecond,
+		Warmup:   50 * umanycore.Millisecond,
+	}, 7)
+	fmt.Printf("completed %d requests across %d servers (mean util %.3f)\n",
+		res.Completed, fleet.Servers, res.MeanUtilization)
+	fmt.Printf("cluster-wide latency: mean=%.1fus p99=%.1fus (p99/mean %.2f)\n",
+		res.Latency.Mean, res.Latency.P99, res.TailToAvg)
+
+	// Per-type QoS check on one server: is each request type within 5x its
+	// contention-free average (the §6.5 criterion)?
+	fmt.Println()
+	fmt.Println("=== Per-type QoS at 15K RPS/server (limit = 5x contention-free avg) ===")
+	cf := umanycore.Run(umanycore.UManycore(), umanycore.RunConfig{
+		App: apps[0], Mix: umanycore.SocialNetworkMix(),
+		RPS: 100, Duration: 2 * umanycore.Second, Warmup: 200 * umanycore.Millisecond, Seed: 7,
+	})
+	hot := umanycore.Run(umanycore.UManycore(), umanycore.RunConfig{
+		App: apps[0], Mix: umanycore.SocialNetworkMix(),
+		RPS: 15000, Duration: 300 * umanycore.Millisecond, Warmup: 60 * umanycore.Millisecond, Seed: 7,
+	})
+	fmt.Printf("%-9s %14s %12s %10s %6s\n", "app", "cf-avg [us]", "p99 [us]", "limit", "QoS")
+	for root := 0; root < len(catalog.Services); root++ {
+		base, ok1 := cf.PerRoot[root]
+		load, ok2 := hot.PerRoot[root]
+		if !ok1 || !ok2 {
+			continue
+		}
+		limit := 5 * base.Mean
+		verdict := "OK"
+		if load.P99 > limit {
+			verdict = "VIOLATED"
+		}
+		fmt.Printf("%-9s %14.1f %12.1f %10.1f %6s\n",
+			catalog.Service(root).Name, base.Mean, load.P99, limit, verdict)
+	}
+}

@@ -1,0 +1,55 @@
+// Synthetic-benchmark scenario (paper §6.7): μs-scale services with
+// exponential, lognormal, and bimodal service-time distributions and 2–6
+// blocking calls — the regime where scheduling and RPC-stack overheads
+// dominate, and where the heavy-tail sensitivity of each design shows.
+//
+//	go run ./examples/synthetic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"umanycore"
+)
+
+func main() {
+	configs := []umanycore.Config{
+		umanycore.ServerClass(40),
+		umanycore.ScaleOut(),
+		umanycore.UManycore(),
+	}
+
+	fmt.Println("P99 latency [us] for synthetic services (mean 10us) at 15K RPS:")
+	fmt.Printf("%-13s %8s", "distribution", "blocks")
+	for _, cfg := range configs {
+		fmt.Printf(" %14s", cfg.Name)
+	}
+	fmt.Println()
+
+	for _, dist := range []string{"exponential", "lognormal", "bimodal"} {
+		for _, blocks := range []int{2, 4, 6} {
+			app, err := umanycore.SyntheticApp(dist, 10, blocks)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-13s %8d", dist, blocks)
+			for _, cfg := range configs {
+				res := umanycore.Run(cfg, umanycore.RunConfig{
+					App:      app,
+					RPS:      15000,
+					Duration: 200 * umanycore.Millisecond,
+					Warmup:   40 * umanycore.Millisecond,
+					Seed:     3,
+				})
+				fmt.Printf(" %14.1f", res.Latency.P99)
+			}
+			fmt.Println()
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("More blocking calls mean more context switches per request; the")
+	fmt.Println("hardware context-switch engine (128 cycles vs ~2000 in software)")
+	fmt.Println("keeps uManycore's tail nearly independent of the blocking count.")
+}

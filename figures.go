@@ -1,0 +1,120 @@
+package umanycore
+
+import (
+	"umanycore/internal/experiments"
+	"umanycore/internal/stats"
+	"umanycore/internal/uarch"
+	"umanycore/internal/workload"
+)
+
+// Figure-regeneration API: one function per table/figure of the paper's
+// evaluation, mirrored from internal/experiments. All functions take
+// ExperimentOptions (zero value = full fidelity) and return the same
+// rows/series the paper plots.
+
+// Result row types.
+type (
+	// Fig1Result is one bar pair of Figure 1 (microarchitectural
+	// optimization speedups, monolithic vs microservice).
+	Fig1Result = uarch.Fig1Result
+	// CDFPoint is one point of an empirical CDF (Figures 2, 4, 5).
+	CDFPoint = stats.CDFPoint
+	// Fig3Row is one queue-count point of Figure 3.
+	Fig3Row = experiments.Fig3Row
+	// Fig6Row is one context-switch-overhead point of Figure 6.
+	Fig6Row = experiments.Fig6Row
+	// Fig7Row is one load level of Figure 7 (ICN contention).
+	Fig7Row = experiments.Fig7Row
+	// Fig8Row is one sharing-bar group of Figure 8.
+	Fig8Row = workload.Fig8Row
+	// Fig9Row is one hit-rate bar of Figure 9.
+	Fig9Row = experiments.Fig9Row
+	// E2ERow is one cell of the Figures 14/16/17 grid.
+	E2ERow = experiments.E2ERow
+	// Reduction is a Figures 14/16 headline ratio series.
+	Reduction = experiments.Reduction
+	// Fig15Row is one application's technique-breakdown ladder (Figure 15).
+	Fig15Row = experiments.Fig15Row
+	// Fig18Row is one QoS-throughput cell of Figure 18.
+	Fig18Row = experiments.Fig18Row
+	// Fig19Row is one application's topology-sensitivity row (Figure 19).
+	Fig19Row = experiments.Fig19Row
+	// Fig20Row is one synthetic-benchmark bar group of Figure 20.
+	Fig20Row = experiments.Fig20Row
+	// Sec68Result is the §6.8 iso-area study.
+	Sec68Result = experiments.Sec68Result
+)
+
+// Fig1 regenerates Figure 1: four published microarchitectural
+// optimizations speed up monolithic applications 14–19% but microservices
+// barely at all.
+func Fig1(o ExperimentOptions) []Fig1Result { return experiments.Fig1(o) }
+
+// Fig2 regenerates Figure 2: the CDF of per-server requests/second in the
+// Alibaba-like production trace.
+func Fig2(o ExperimentOptions) []CDFPoint { return experiments.Fig2(o) }
+
+// Fig3 regenerates Figure 3: average and tail response time vs the number
+// of scheduling queues on the 1024-core ScaleOut at 50K RPS, with and
+// without work stealing.
+func Fig3(o ExperimentOptions) []Fig3Row { return experiments.Fig3(o) }
+
+// Fig4 regenerates Figure 4: the CDF of per-request CPU utilization.
+func Fig4(o ExperimentOptions) []CDFPoint { return experiments.Fig4(o) }
+
+// Fig5 regenerates Figure 5: the CDF of RPC invocations per request.
+func Fig5(o ExperimentOptions) []CDFPoint { return experiments.Fig5(o) }
+
+// Fig6 regenerates Figure 6: tail latency vs context-switch overhead
+// (0–8192 cycles) at 5K/10K/50K RPS under a centralized software scheduler.
+func Fig6(o ExperimentOptions) []Fig6Row { return experiments.Fig6(o) }
+
+// Fig7 regenerates Figure 7: tail-latency inflation from ICN contention on
+// 2D-mesh and fat-tree interconnects.
+func Fig7(o ExperimentOptions) []Fig7Row { return experiments.Fig7(o) }
+
+// Fig8 regenerates Figure 8: handler-handler and handler-init footprint
+// sharing at page and line granularity.
+func Fig8(o ExperimentOptions) []Fig8Row { return experiments.Fig8(o) }
+
+// Fig9 regenerates Figure 9: L1/L2 TLB and cache hit rates for handler
+// access streams.
+func Fig9(o ExperimentOptions) []Fig9Row { return experiments.Fig9(o) }
+
+// EndToEnd regenerates the Figures 14/16/17 grid: per-request-type average
+// and tail latency on all three architectures at 5/10/15K RPS under the
+// mixed SocialNetwork load.
+func EndToEnd(o ExperimentOptions) []E2ERow { return experiments.EndToEnd(o) }
+
+// Reductions computes the Figures 14/16 headline ratios (baseline /
+// μManycore, averaged over apps per load) from an EndToEnd grid; metric is
+// "tail" or "avg".
+func Reductions(rows []E2ERow, metric string) []Reduction {
+	return experiments.Reductions(rows, metric)
+}
+
+// Fig15 regenerates Figure 15: the cumulative tail-latency reductions of
+// the four μManycore techniques over ScaleOut at 15K RPS.
+func Fig15(o ExperimentOptions) []Fig15Row { return experiments.Fig15(o) }
+
+// Fig15Average returns the cross-application mean reductions of a Fig15
+// run (the paper's 1.1×/2.3×/3.9×/7.4× series).
+func Fig15Average(rows []Fig15Row) (villages, leafspine, hwsched, hwcs float64) {
+	return experiments.Fig15Average(rows)
+}
+
+// Fig18 regenerates Figure 18: the maximum QoS-safe throughput per request
+// type and architecture.
+func Fig18(o ExperimentOptions) []Fig18Row { return experiments.Fig18(o) }
+
+// Fig19 regenerates Figure 19: μManycore topology sensitivity (8×4×32,
+// 32×1×32, 32×2×16, 32×4×8) at 15K RPS.
+func Fig19(o ExperimentOptions) []Fig19Row { return experiments.Fig19(o) }
+
+// Fig20 regenerates Figure 20: synthetic exponential/lognormal/bimodal
+// benchmarks across the three architectures.
+func Fig20(o ExperimentOptions) []Fig20Row { return experiments.Fig20(o) }
+
+// Sec68 regenerates §6.8: the iso-area 128-core ServerClass comparison,
+// including the power and area ratios from the CACTI/McPAT stand-in.
+func Sec68(o ExperimentOptions) Sec68Result { return experiments.Sec68(o) }

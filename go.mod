@@ -1,0 +1,3 @@
+module umanycore
+
+go 1.22

@@ -1,0 +1,86 @@
+package coherence
+
+import "math/rand"
+
+// Sharing-pattern drivers: the access patterns microservice request
+// processing produces, per the paper's characterization.
+
+// MigratoryResult summarizes a migratory-sharing run.
+type MigratoryResult struct {
+	// MeanResumeCycles is the average coherence cost of one request
+	// resumption on a new core: re-reading its context lines (which the
+	// previous core owns dirty) and writing its working lines.
+	MeanResumeCycles float64
+	Stats            Stats
+}
+
+// Migratory simulates the paper's §4.1 scenario: a blocked request resumes
+// on a different core and re-touches its saved context — `lines` cache
+// lines, each read then written, previously owned dirty by the last core.
+// Cores are drawn from the whole domain (global coherence / unrestricted
+// migration) so ownership transfers traverse the package.
+func Migratory(d *Directory, requests, lines int, r *rand.Rand) MigratoryResult {
+	addrBase := uint64(1 << 20)
+	prevCore := r.Intn(d.Config().Caches)
+	// Warm: the first core dirties the context.
+	for l := 0; l < lines; l++ {
+		d.Write(prevCore, addrBase+uint64(l))
+	}
+	before := d.Stats
+	var total int
+	for i := 0; i < requests; i++ {
+		core := r.Intn(d.Config().Caches)
+		cost := 0
+		for l := 0; l < lines; l++ {
+			cost += d.Read(core, addrBase+uint64(l))
+			cost += d.Write(core, addrBase+uint64(l))
+		}
+		total += cost
+		prevCore = core
+	}
+	_ = prevCore
+	after := d.Stats
+	return MigratoryResult{
+		MeanResumeCycles: float64(total) / float64(requests),
+		Stats: Stats{
+			Reads:           after.Reads - before.Reads,
+			Writes:          after.Writes - before.Writes,
+			DirLookups:      after.DirLookups - before.DirLookups,
+			Invalidations:   after.Invalidations - before.Invalidations,
+			OwnershipXfers:  after.OwnershipXfers - before.OwnershipXfers,
+			Downgrades:      after.Downgrades - before.Downgrades,
+			NetworkMessages: after.NetworkMessages - before.NetworkMessages,
+			TotalLatencyCyc: after.TotalLatencyCyc - before.TotalLatencyCyc,
+		},
+	}
+}
+
+// ReadShared simulates the §3.5 handler pattern: many cores read the same
+// instance initialization state (read-mostly lines). After warmup this
+// costs almost nothing in either domain — the paper's argument for
+// read-shared memories.
+func ReadShared(d *Directory, accesses, lines int, r *rand.Rand) float64 {
+	addrBase := uint64(2 << 20)
+	var total int
+	for i := 0; i < accesses; i++ {
+		core := r.Intn(d.Config().Caches)
+		total += d.Read(core, addrBase+uint64(r.Intn(lines)))
+	}
+	return float64(total) / float64(accesses)
+}
+
+// PrivatePerRequest simulates request-private working sets: each request
+// touches fresh lines on one core — no sharing, so coherence should charge
+// only cold directory fills.
+func PrivatePerRequest(d *Directory, requests, lines int, r *rand.Rand) float64 {
+	var total int
+	next := uint64(3 << 20)
+	for i := 0; i < requests; i++ {
+		core := r.Intn(d.Config().Caches)
+		for l := 0; l < lines; l++ {
+			total += d.Write(core, next)
+			next++
+		}
+	}
+	return float64(total) / float64(requests*lines)
+}

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"umanycore/internal/machine"
+	"umanycore/internal/power"
+	"umanycore/internal/sim"
+	"umanycore/internal/stats"
+	"umanycore/internal/workload"
+)
+
+// E2ERow is one (application, load, architecture) cell of the end-to-end
+// grid behind Figures 14 (tail), 16 (average) and 17 (tail-to-average).
+// Per §5, the server receives the full SocialNetwork request mix at the
+// given total RPS; each row reports one request type's latency within it.
+type E2ERow struct {
+	App         string
+	RPS         float64
+	Arch        string
+	AvgMicros   float64
+	TailMicros  float64
+	TailToAvg   float64
+	Utilization float64
+	Completed   uint64
+	Unfinished  int64
+}
+
+// mixedRun drives one machine with the SocialNetwork mix at totalRPS.
+func mixedRun(cfg machine.Config, o Options, totalRPS float64) *machine.Result {
+	rc := o.runCfg(o.Apps[0], totalRPS)
+	rc.Mix = workload.SocialNetworkMix()
+	return machine.Run(cfg, rc)
+}
+
+// EndToEnd runs the full §6.1–§6.4 grid: every architecture × load, with
+// per-request-type rows extracted from the mixed run.
+func EndToEnd(o Options) []E2ERow {
+	o = o.normalized()
+	catalog := o.Apps[0].Catalog
+	var rows []E2ERow
+	for _, cfg := range archSet() {
+		for _, rps := range o.Loads {
+			res := mixedRun(cfg, o, rps)
+			for root, sum := range res.PerRoot {
+				ratio := 0.0
+				if sum.Mean > 0 {
+					ratio = sum.P99 / sum.Mean
+				}
+				rows = append(rows, E2ERow{
+					App:         catalog.Service(root).Name,
+					RPS:         rps,
+					Arch:        cfg.Name,
+					AvgMicros:   sum.Mean,
+					TailMicros:  sum.P99,
+					TailToAvg:   ratio,
+					Utilization: res.Utilization,
+					Completed:   uint64(sum.N),
+					Unfinished:  res.Unfinished,
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// Reduction summarizes a figure's headline ratios: the mean across apps of
+// baseline/μManycore at each load.
+type Reduction struct {
+	Baseline string
+	Metric   string // "tail" or "avg"
+	// ByLoad maps RPS -> mean ratio across apps.
+	ByLoad map[float64]float64
+}
+
+// Reductions computes the Fig 14/16 headline numbers ("μManycore reduces
+// the tail latency over ServerClass by 6.3×, 8.3×, and 16.7×...") from an
+// EndToEnd grid.
+func Reductions(rows []E2ERow, metric string) []Reduction {
+	get := func(r E2ERow) float64 {
+		if metric == "avg" {
+			return r.AvgMicros
+		}
+		return r.TailMicros
+	}
+	type key struct {
+		app, arch string
+		rps       float64
+	}
+	cell := make(map[key]float64)
+	loads := map[float64]bool{}
+	apps := map[string]bool{}
+	for _, r := range rows {
+		cell[key{r.App, r.Arch, r.RPS}] = get(r)
+		loads[r.RPS] = true
+		apps[r.App] = true
+	}
+	var out []Reduction
+	for _, base := range []string{"ServerClass-40", "ScaleOut"} {
+		red := Reduction{Baseline: base, Metric: metric, ByLoad: map[float64]float64{}}
+		for rps := range loads {
+			var ratios []float64
+			for app := range apps {
+				b := cell[key{app, base, rps}]
+				u := cell[key{app, "uManycore", rps}]
+				if b > 0 && u > 0 {
+					ratios = append(ratios, b/u)
+				}
+			}
+			red.ByLoad[rps] = stats.Mean(ratios)
+		}
+		out = append(out, red)
+	}
+	return out
+}
+
+// Fig18Row is one request type's QoS-bounded maximum throughput per
+// architecture: the highest total mix RPS at which this type's P99 stays
+// within 5× its contention-free average.
+type Fig18Row struct {
+	App    string
+	Arch   string
+	MaxRPS float64
+}
+
+// Fig18 reproduces Figure 18. The searched request types are restricted to
+// o.Apps (the full default suite covers all eight); the offered load is
+// always the full mix.
+func Fig18(o Options) []Fig18Row {
+	o = o.normalized()
+	catalog := o.Apps[0].Catalog
+	wanted := map[int]bool{}
+	for _, a := range o.Apps {
+		wanted[a.Root] = true
+	}
+	mix := workload.SocialNetworkMix()
+	var rows []Fig18Row
+	for _, cfg := range archSet() {
+		// Contention-free per-type averages.
+		cf := mixedRunAt(cfg, o, 100, 2*sim.Second)
+		limits := map[int]float64{}
+		for root, sum := range cf.PerRoot {
+			limits[root] = 5 * sum.Mean
+		}
+		hi := 400000.0
+		if cfg.Name == "ServerClass-40" {
+			hi = 80000
+		}
+		for _, e := range mix {
+			root := e.Root
+			if !wanted[root] {
+				continue
+			}
+			ok := func(rps float64) bool {
+				res := mixedRunAt(cfg, o, rps, o.Duration)
+				bad := float64(res.Rejected) + float64(res.Unfinished)
+				if res.Completed == 0 || bad > 0.01*float64(res.Submitted) {
+					return false
+				}
+				sum, okRoot := res.PerRoot[root]
+				return okRoot && sum.N > 0 && sum.P99 <= limits[root]
+			}
+			max := binarySearchMax(ok, 2000, hi)
+			rows = append(rows, Fig18Row{App: catalog.Service(root).Name, Arch: cfg.Name, MaxRPS: max})
+		}
+	}
+	return rows
+}
+
+func mixedRunAt(cfg machine.Config, o Options, rps float64, dur sim.Time) *machine.Result {
+	rc := o.runCfg(o.Apps[0], rps)
+	rc.Duration = dur
+	rc.Mix = workload.SocialNetworkMix()
+	return machine.Run(cfg, rc)
+}
+
+// binarySearchMax finds the largest x in [lo, hi] with ok(x), assuming ok
+// is (noisily) monotone decreasing; returns lo when even lo fails.
+func binarySearchMax(ok func(float64) bool, lo, hi float64) float64 {
+	if !ok(lo) {
+		return lo
+	}
+	for hi-lo > 0.06*lo {
+		mid := (lo + hi) / 2
+		if ok(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Sec68Row is one cell of the §6.8 iso-area comparison: the 128-core
+// ServerClass vs μManycore within the mixed workload.
+type Sec68Row struct {
+	App       string
+	RPS       float64
+	SC128Tail float64
+	UMCTail   float64
+	TailRatio float64
+}
+
+// Sec68Result bundles the iso-area study: per-app/load tails plus the
+// area/power bookkeeping from the CACTI/McPAT stand-in.
+type Sec68Result struct {
+	Rows []Sec68Row
+	// MeanTailRatio across apps and loads (paper: ≈7.3×).
+	MeanTailRatio float64
+	// PowerRatio of the 128-core ServerClass over μManycore (paper: 3.2×).
+	PowerRatio float64
+	// AreaRatio of the two packages (≈1 by construction).
+	AreaRatio float64
+}
+
+// Sec68 reproduces §6.8: scale ServerClass to 128 cores (iso-area with
+// μManycore) and compare tails and power.
+func Sec68(o Options) Sec68Result {
+	o = o.normalized()
+	catalog := o.Apps[0].Catalog
+	sc := withFleetCoupling(machine.ServerClassConfig(128))
+	umc := withFleetCoupling(machine.UManycoreConfig())
+	var out Sec68Result
+	var ratios []float64
+	for _, rps := range o.Loads {
+		scRes := mixedRun(sc, o, rps)
+		uRes := mixedRun(umc, o, rps)
+		for root, scSum := range scRes.PerRoot {
+			uSum, ok := uRes.PerRoot[root]
+			if !ok || uSum.P99 <= 0 {
+				continue
+			}
+			row := Sec68Row{
+				App: catalog.Service(root).Name, RPS: rps,
+				SC128Tail: scSum.P99, UMCTail: uSum.P99,
+				TailRatio: scSum.P99 / uSum.P99,
+			}
+			ratios = append(ratios, row.TailRatio)
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	out.MeanTailRatio = stats.Mean(ratios)
+	out.PowerRatio = power.ServerClassChip(128).TotalPower() / power.UManycoreChip().TotalPower()
+	out.AreaRatio = power.ServerClassChip(128).TotalArea() / power.UManycoreChip().TotalArea()
+	return out
+}
+
+// appsSubset returns named apps from the default suite (helper shared by
+// tests and benchmarks).
+func appsSubset(names ...string) []*workload.App {
+	all := workload.SocialNetworkApps()
+	var out []*workload.App
+	for _, n := range names {
+		for _, a := range all {
+			if a.Name == n {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}

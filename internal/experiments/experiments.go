@@ -1,0 +1,101 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: one function per figure, returning the same rows/series the
+// paper reports. cmd/umbench prints them as text tables; bench_test.go wraps
+// each in a testing.B benchmark.
+//
+// Figures 14–18 and §6.8 follow the paper's methodology: per-server loads of
+// 5/10/15K RPS with Poisson arrivals, a 10-server fleet (modeled via the
+// symmetric-server coupling of internal/fleet — cross-server RPC fraction
+// and 1μs inter-server RTT applied per machine), end-to-end latency from
+// client send to client receive, and P99 as the tail metric.
+package experiments
+
+import (
+	"umanycore/internal/machine"
+	"umanycore/internal/sim"
+	"umanycore/internal/workload"
+)
+
+// Options tunes experiment fidelity vs runtime. The zero value plus
+// DefaultOptions() reproduces the EXPERIMENTS.md numbers; tests use reduced
+// settings.
+type Options struct {
+	Seed     int64
+	Duration sim.Time  // arrival window per run
+	Warmup   sim.Time  // measurement warmup
+	Drain    sim.Time  // post-window drain bound
+	Loads    []float64 // per-server RPS points
+	Apps     []*workload.App
+}
+
+// DefaultOptions returns full-fidelity settings.
+func DefaultOptions() Options {
+	return Options{
+		Seed:     42,
+		Duration: 400 * sim.Millisecond,
+		Warmup:   80 * sim.Millisecond,
+		Drain:    1600 * sim.Millisecond,
+		Loads:    []float64{5000, 10000, 15000},
+		Apps:     workload.SocialNetworkApps(),
+	}
+}
+
+// Quick returns reduced-fidelity settings for tests.
+func (o Options) Quick() Options {
+	o.Duration = 150 * sim.Millisecond
+	o.Warmup = 30 * sim.Millisecond
+	o.Drain = 600 * sim.Millisecond
+	return o
+}
+
+func (o Options) normalized() Options {
+	d := DefaultOptions()
+	if o.Duration == 0 {
+		o.Duration = d.Duration
+	}
+	if o.Warmup == 0 {
+		o.Warmup = d.Warmup
+	}
+	if o.Drain == 0 {
+		o.Drain = d.Drain
+	}
+	if len(o.Loads) == 0 {
+		o.Loads = d.Loads
+	}
+	if len(o.Apps) == 0 {
+		o.Apps = d.Apps
+	}
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	return o
+}
+
+// runCfg builds the common per-run configuration.
+func (o Options) runCfg(app *workload.App, rps float64) machine.RunConfig {
+	return machine.RunConfig{
+		App:      app,
+		RPS:      rps,
+		Duration: o.Duration,
+		Warmup:   o.Warmup,
+		Drain:    o.Drain,
+		Seed:     o.Seed,
+	}
+}
+
+// withFleetCoupling applies the 10-server cluster's cross-server RPC
+// parameters to a machine config (§5 methodology).
+func withFleetCoupling(cfg machine.Config) machine.Config {
+	cfg.RemoteCallFrac = 0.5
+	cfg.RemoteRTT = 1 * sim.Microsecond
+	return cfg
+}
+
+// archSet returns the three §5 processors with fleet coupling.
+func archSet() []machine.Config {
+	return []machine.Config{
+		withFleetCoupling(machine.ServerClassConfig(40)),
+		withFleetCoupling(machine.ScaleOutConfig()),
+		withFleetCoupling(machine.UManycoreConfig()),
+	}
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"umanycore/internal/machine"
+)
+
+// Fig7Row is one load level of Figure 7: tail latency with ICN contention,
+// normalized to the same system without contention, for the 2D mesh and
+// fat-tree ICNs on the 1024-core ScaleOut manycore.
+type Fig7Row struct {
+	RPS         int
+	MeshNorm    float64
+	FatTreeNorm float64
+}
+
+// Fig7 reproduces Figure 7. Per the paper: cores grouped in 32-core
+// clusters, clusters interconnected with a 2D mesh or fat-tree, 5-cycle
+// contention-free hop latency, requests issued to cores randomly; each bar
+// is normalized to the tail latency of the same environment without ICN
+// contention.
+func Fig7(o Options) []Fig7Row {
+	o = o.normalized()
+	app := fig7App()
+	loads := []int{1000, 5000, 10000, 50000}
+
+	run := func(topo machine.TopoKind, contention bool, rps int) float64 {
+		cfg := machine.ScaleOutConfig()
+		cfg.Topo = topo
+		if topo == machine.MeshTopo {
+			// 32 cluster endpoints as an 8×4 mesh.
+			cfg.MeshW, cfg.MeshH = 8, 4
+		}
+		cfg.ICNContention = contention
+		res := machine.Run(cfg, o.runCfg(app, float64(rps)))
+		return res.Latency.P99
+	}
+
+	rows := make([]Fig7Row, 0, len(loads))
+	for _, rps := range loads {
+		meshBase := run(machine.MeshTopo, false, rps)
+		mesh := run(machine.MeshTopo, true, rps)
+		ftBase := run(machine.FatTreeTopo, false, rps)
+		ft := run(machine.FatTreeTopo, true, rps)
+		row := Fig7Row{RPS: rps}
+		if meshBase > 0 {
+			row.MeshNorm = mesh / meshBase
+		}
+		if ftBase > 0 {
+			row.FatTreeNorm = ft / ftBase
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

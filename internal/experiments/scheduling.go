@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"umanycore/internal/machine"
+	"umanycore/internal/sched"
+	"umanycore/internal/workload"
+)
+
+// Fig3Row is one x-axis point of Figure 3: the queue-count sweep on the
+// 1024-core ScaleOut manycore at 50K RPS.
+type Fig3Row struct {
+	Queues          int
+	AvgMicros       float64
+	TailMicros      float64
+	AvgStealMicros  float64
+	TailStealMicros float64
+}
+
+// appNamed fetches one DeathStarBench-style app by name.
+func appNamed(name string) *workload.App {
+	for _, a := range workload.SocialNetworkApps() {
+		if a.Name == name {
+			return a
+		}
+	}
+	panic("no app " + name)
+}
+
+// fig3App is the workload for the queue sweep. CPost's op rate puts the
+// single shared contended lock near its saturation point at 50K RPS (the
+// §3.2 "synchronization overhead" extreme) while whole-tree pinning exposes
+// imbalance at the per-core-queue extreme.
+func fig3App() *workload.App { return appNamed("CPost") }
+
+// fig7App is the ICN-study workload: CPost, the call-heaviest tree,
+// maximal ICN traffic.
+func fig7App() *workload.App { return appNamed("CPost") }
+
+// fig6App is the workload for the context-switch sweep; its blocking rate
+// matches the SocialNetwork application the paper names.
+func fig6App() *workload.App { return appNamed("SGraph") }
+
+// Fig3 reproduces Figure 3: average and tail response time vs the number of
+// queues (1024 per-core queues down to 1 global queue), with and without
+// work stealing. Per the paper, whole requests are assigned to queues
+// randomly and migrate only via stealing; queues are lock-protected FCFS
+// (the "fully-centralized queue induces high synchronization overheads,
+// per-core queues cause load imbalance and head-of-line blocking" story
+// of §3.2).
+func Fig3(o Options) []Fig3Row {
+	o = o.normalized()
+	app := fig3App()
+	queueCounts := []int{1024, 512, 256, 128, 64, 32, 16, 8, 4, 2, 1}
+	rows := make([]Fig3Row, 0, len(queueCounts))
+	for _, q := range queueCounts {
+		row := Fig3Row{Queues: q}
+		for _, steal := range []bool{false, true} {
+			cfg := machine.ScaleOutConfig()
+			cfg.Domains = q
+			cfg.TreeAffinity = true
+			// Isolate queue-structure effects from the I/O funnel (the
+			// paper studies ICN contention separately in Fig 7).
+			cfg.IOViaICN = false
+			cfg.Policy = sched.Policy{
+				Name:          "lock-fcfs",
+				CSCycles:      sched.SoftwareCSCycles,
+				DequeueCycles: 100,
+				EnqueueCycles: 60,
+				WorkStealing:  steal,
+				StealCycles:   sched.ZygOSSched().StealCycles,
+			}
+			res := machine.Run(cfg, o.runCfg(app, 50000))
+			if steal {
+				row.AvgStealMicros = res.Latency.Mean
+				row.TailStealMicros = res.Latency.P99
+			} else {
+				row.AvgMicros = res.Latency.Mean
+				row.TailMicros = res.Latency.P99
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Fig6Row is one context-switch-overhead point for one load level.
+type Fig6Row struct {
+	CSCycles int
+	// NormTail is tail latency normalized to the zero-overhead run at the
+	// same load, keyed by RPS.
+	NormTail map[int]float64
+}
+
+// Fig6 reproduces Figure 6: the impact of context-switch overhead (0–8192
+// cycles) on tail latency at 5K, 10K, and 50K RPS, on the 1024-core
+// ScaleOut running the SocialNetwork app under the centralized Shinjuku
+// scheduler of §4.4 (whose dispatcher performs every save/restore — the
+// bottleneck the paper identifies).
+func Fig6(o Options) []Fig6Row {
+	o = o.normalized()
+	app := fig6App()
+	loads := []int{5000, 10000, 50000}
+	csPoints := []int{0, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}
+
+	base := make(map[int]float64)
+	for _, rps := range loads {
+		cfg := machine.ScaleOutConfig()
+		cfg.CentralDispatcher = true
+		cfg.Policy.CSCycles = 0
+		res := machine.Run(cfg, o.runCfg(app, float64(rps)))
+		base[rps] = res.Latency.P99
+	}
+	rows := make([]Fig6Row, 0, len(csPoints))
+	for _, cs := range csPoints {
+		row := Fig6Row{CSCycles: cs, NormTail: make(map[int]float64)}
+		for _, rps := range loads {
+			cfg := machine.ScaleOutConfig()
+			cfg.CentralDispatcher = true
+			cfg.Policy.CSCycles = cs
+			res := machine.Run(cfg, o.runCfg(app, float64(rps)))
+			if base[rps] > 0 {
+				row.NormTail[rps] = res.Latency.P99 / base[rps]
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -1,0 +1,94 @@
+// Package fleet models the paper's 10-server evaluation cluster (§5): each
+// server runs one of the three processors, client load is balanced across
+// servers, and a fraction of child RPCs cross servers over the inter-server
+// network (Table 2: 1μs round trip, 200GB/s).
+//
+// Servers are statistically identical under the load balancer, so the fleet
+// simulates each server independently (with its share of the load, a
+// distinct seed, and cross-server RPC latency applied probabilistically)
+// and merges the latency samples. This symmetric-server approximation is
+// exact in distribution for a balanced fleet of identical machines.
+package fleet
+
+import (
+	"umanycore/internal/machine"
+	"umanycore/internal/sim"
+	"umanycore/internal/stats"
+	"umanycore/internal/workload"
+)
+
+// Config describes the fleet.
+type Config struct {
+	// Servers is the fleet size (paper: 10).
+	Servers int
+	// Machine is the per-server processor configuration.
+	Machine machine.Config
+	// CrossServerFrac is the probability a child RPC targets another
+	// server. With instances spread over N servers and uniform routing it
+	// is (N-1)/N, but deployments keep call chains local; 0.5 is the
+	// default.
+	CrossServerFrac float64
+	// InterServerRTT is the server-to-server round trip (Table 2: 1μs).
+	InterServerRTT sim.Time
+}
+
+// DefaultConfig returns the paper's 10-server fleet around the given
+// machine.
+func DefaultConfig(m machine.Config) Config {
+	return Config{
+		Servers:         10,
+		Machine:         m,
+		CrossServerFrac: 0.5,
+		InterServerRTT:  1 * sim.Microsecond,
+	}
+}
+
+// Result aggregates per-server results.
+type Result struct {
+	Machine                        string
+	App                            string
+	TotalRPS                       float64
+	Latency                        stats.Summary
+	TailToAvg                      float64
+	Submitted, Completed, Rejected uint64
+	Unfinished                     int64
+	// MeanUtilization averages server core utilization.
+	MeanUtilization float64
+	// PerServer keeps the individual results.
+	PerServer []*machine.Result
+}
+
+// Run drives the fleet at totalRPS (split evenly across servers) and merges
+// the results.
+func Run(fc Config, app *workload.App, totalRPS float64, rc machine.RunConfig, seed int64) *Result {
+	if fc.Servers <= 0 {
+		panic("fleet: need at least one server")
+	}
+	mcfg := fc.Machine
+	mcfg.RemoteCallFrac = fc.CrossServerFrac
+	mcfg.RemoteRTT = fc.InterServerRTT
+
+	merged := &stats.Sample{}
+	out := &Result{Machine: mcfg.Name, App: app.Name, TotalRPS: totalRPS}
+	var utilSum float64
+	for s := 0; s < fc.Servers; s++ {
+		srun := rc
+		srun.App = app
+		srun.RPS = totalRPS / float64(fc.Servers)
+		srun.Seed = seed + int64(s)*7919
+		res := machine.Run(mcfg, srun)
+		out.PerServer = append(out.PerServer, res)
+		out.Submitted += res.Submitted
+		out.Completed += res.Completed
+		out.Rejected += res.Rejected
+		out.Unfinished += res.Unfinished
+		utilSum += res.Utilization
+		for _, v := range res.Sample.Values() {
+			merged.Add(v)
+		}
+	}
+	out.Latency = merged.Summarize()
+	out.TailToAvg = merged.TailToAvg()
+	out.MeanUtilization = utilSum / float64(fc.Servers)
+	return out
+}

@@ -1,0 +1,77 @@
+package fleet
+
+import (
+	"testing"
+
+	"umanycore/internal/machine"
+	"umanycore/internal/sim"
+	"umanycore/internal/workload"
+)
+
+func homeT(t *testing.T) *workload.App {
+	t.Helper()
+	for _, a := range workload.SocialNetworkApps() {
+		if a.Name == "HomeT" {
+			return a
+		}
+	}
+	t.Fatal("no HomeT")
+	return nil
+}
+
+func TestDefaultConfig(t *testing.T) {
+	fc := DefaultConfig(machine.UManycoreConfig())
+	if fc.Servers != 10 || fc.InterServerRTT != sim.Microsecond {
+		t.Fatalf("fleet defaults = %+v", fc)
+	}
+}
+
+func TestFleetRunAggregates(t *testing.T) {
+	fc := DefaultConfig(machine.UManycoreConfig())
+	fc.Servers = 3
+	rc := machine.RunConfig{Duration: 200 * sim.Millisecond, Warmup: 40 * sim.Millisecond, Drain: sim.Second}
+	res := Run(fc, homeT(t), 9000, rc, 1)
+	if len(res.PerServer) != 3 {
+		t.Fatalf("per-server results = %d", len(res.PerServer))
+	}
+	var sum uint64
+	for _, s := range res.PerServer {
+		sum += s.Completed
+	}
+	if res.Completed != sum || res.Completed == 0 {
+		t.Fatalf("completed aggregation: %d vs %d", res.Completed, sum)
+	}
+	if res.Latency.N == 0 || res.Latency.P99 < res.Latency.Mean {
+		t.Fatalf("latency = %+v", res.Latency)
+	}
+	// Servers see different seeds, so samples differ.
+	if res.PerServer[0].Latency == res.PerServer[1].Latency {
+		t.Fatal("servers appear identical — seeds not varied")
+	}
+}
+
+func TestFleetCrossServerSlowerThanLocal(t *testing.T) {
+	app := homeT(t)
+	rc := machine.RunConfig{Duration: 200 * sim.Millisecond, Warmup: 40 * sim.Millisecond, Drain: sim.Second}
+	local := DefaultConfig(machine.UManycoreConfig())
+	local.Servers = 2
+	local.CrossServerFrac = 0
+	remote := DefaultConfig(machine.UManycoreConfig())
+	remote.Servers = 2
+	remote.CrossServerFrac = 1
+	remote.InterServerRTT = 200 * sim.Microsecond
+	lres := Run(local, app, 4000, rc, 2)
+	rres := Run(remote, app, 4000, rc, 2)
+	if rres.Latency.Mean <= lres.Latency.Mean {
+		t.Fatalf("cross-server RTT not visible: %v vs %v", rres.Latency.Mean, lres.Latency.Mean)
+	}
+}
+
+func TestFleetPanicsWithoutServers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Run(Config{}, homeT(t), 100, machine.RunConfig{}, 1)
+}

@@ -1,0 +1,133 @@
+package icn
+
+import "math/rand"
+
+// FatTree is a binary fat-tree over n leaf endpoints (the ScaleOut
+// baseline's ICN). With 32 leaves it has 63 network hubs and a 10-hop
+// longest path, matching the paper's §5 configuration. Routing ascends to
+// the lowest common ancestor and descends; there is exactly one path per
+// pair, so root-adjacent links concentrate cross-tree traffic — the
+// contention behaviour Fig 7 exposes.
+type FatTree struct {
+	leaves int
+	levels int
+	p      LinkParams
+	up     map[int]*Link // node -> link to parent
+	down   map[int]*Link // node -> link from parent
+	all    []*Link
+}
+
+// NewFatTree builds a binary fat-tree over `leaves` endpoints; leaves must
+// be a power of two.
+func NewFatTree(leaves int, p LinkParams) *FatTree {
+	if leaves < 2 || leaves&(leaves-1) != 0 {
+		panic("icn: fat-tree leaves must be a power of two >= 2")
+	}
+	f := &FatTree{leaves: leaves, p: p, up: make(map[int]*Link), down: make(map[int]*Link)}
+	for n := leaves; n > 1; n >>= 1 {
+		f.levels++
+	}
+	// Node numbering: heap order. Root = 1; children of k are 2k, 2k+1;
+	// leaves occupy [leaves, 2*leaves). Links fatten toward the root —
+	// bandwidth doubles per aggregation level, capped at 4× (practical
+	// fat-trees cannot scale beachfront indefinitely).
+	for k := 2; k < 2*leaves; k++ {
+		parent := k / 2
+		height := 0
+		for n := k; n < leaves; n <<= 1 {
+			height++
+		}
+		lp := p
+		boost := height
+		if boost > 2 {
+			boost = 2
+		}
+		lp.PsPerByte = p.PsPerByte / (1 << boost)
+		if lp.PsPerByte < 1 {
+			lp.PsPerByte = 1
+		}
+		upl := newLink(k, parent, lp)
+		downl := newLink(parent, k, lp)
+		f.up[k] = upl
+		f.down[k] = downl
+		f.all = append(f.all, upl, downl)
+	}
+	return f
+}
+
+// Name implements Topology.
+func (f *FatTree) Name() string { return "fat-tree" }
+
+// NumEndpoints implements Topology.
+func (f *FatTree) NumEndpoints() int { return f.leaves }
+
+// Links implements Topology.
+func (f *FatTree) Links() []*Link { return f.all }
+
+// MaxHops implements Topology.
+func (f *FatTree) MaxHops() int { return 2 * f.levels }
+
+// Path implements Topology: up to the LCA, then down.
+func (f *FatTree) Path(src, dst int, _ *rand.Rand) []*Link {
+	if src < 0 || dst < 0 || src >= f.leaves || dst >= f.leaves {
+		panic(pathError("fat-tree", src, dst, f.leaves))
+	}
+	if src == dst {
+		return nil
+	}
+	a := src + f.leaves
+	b := dst + f.leaves
+	var upPath []*Link
+	var downPath []*Link
+	for a != b {
+		if a > b {
+			upPath = append(upPath, f.up[a])
+			a /= 2
+		} else {
+			downPath = append(downPath, f.down[b])
+			b /= 2
+		}
+	}
+	// downPath was collected from destination upward; reverse it.
+	path := upPath
+	for i := len(downPath) - 1; i >= 0; i-- {
+		path = append(path, downPath[i])
+	}
+	return path
+}
+
+// NodeCount returns the total number of network hubs (2*leaves - 1),
+// reported to verify the paper's "63 NHs" configuration.
+func (f *FatTree) NodeCount() int { return 2*f.leaves - 1 }
+
+// PathToRoot returns the ascending links from a leaf to the root, where the
+// package's top-level NIC and memory controllers attach. Storage/external
+// traffic leaves the package this way.
+func (f *FatTree) PathToRoot(leaf int) []*Link {
+	if leaf < 0 || leaf >= f.leaves {
+		panic(pathError("fat-tree", leaf, 0, f.leaves))
+	}
+	var path []*Link
+	for n := leaf + f.leaves; n > 1; n /= 2 {
+		path = append(path, f.up[n])
+	}
+	return path
+}
+
+// PathFromRoot returns the descending links from the root to a leaf.
+func (f *FatTree) PathFromRoot(leaf int) []*Link {
+	if leaf < 0 || leaf >= f.leaves {
+		panic(pathError("fat-tree", leaf, 0, f.leaves))
+	}
+	var rev []*Link
+	for n := leaf + f.leaves; n > 1; n /= 2 {
+		rev = append(rev, f.down[n])
+	}
+	path := make([]*Link, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, rev[i])
+	}
+	return path
+}
+
+var _ Topology = (*FatTree)(nil)

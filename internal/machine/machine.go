@@ -1,0 +1,901 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"umanycore/internal/icn"
+	"umanycore/internal/rpcnet"
+	"umanycore/internal/rq"
+	"umanycore/internal/sim"
+	"umanycore/internal/stats"
+	"umanycore/internal/workload"
+)
+
+// Machine simulates one server: a processor built from Config serving one
+// application's request trees.
+type Machine struct {
+	cfg     Config
+	eng     *sim.Engine
+	catalog *workload.Catalog
+	mix     []workload.MixEntry // arrival mixture over root services
+	topo    icn.Topology
+
+	domains   []*domain
+	instances map[int][]*domain // serviceID -> hosting domains
+	// svcmap is the top-level NIC's hardware dispatch table (§4.2); it
+	// round-robins requests over a service's hosting domains.
+	svcmap *rpcnet.ServiceMap
+	// storageNIC, when the storage network is lossy, is the R-NIC pool
+	// handling retransmission and congestion control (§4.1).
+	storageNIC []*rpcnet.RNIC
+
+	// Measurement.
+	measureFrom sim.Time
+	Latency     stats.Sample // end-to-end root latency, microseconds
+	// LatencyByRoot splits the sample by request type (root service ID) —
+	// the per-application series of the mixed-workload figures.
+	LatencyByRoot map[int]*stats.Sample
+	Submitted     uint64
+	Completed     uint64
+	Rejected      uint64
+	rejectedRoots uint64
+	Invocations   uint64
+	coreBusy      sim.Time
+	hopSum        uint64
+	msgCount      uint64
+
+	invSeq uint64
+}
+
+type domain struct {
+	m        *Machine
+	id       int
+	endpoint int
+	// perfMult scales compute speed for heterogeneous-village extensions
+	// (0 means 1.0).
+	perfMult float64
+	cores    []*core
+	idle     []*core
+	// sched serializes queue operations: the software queue lock, the
+	// (possibly machine-shared) centralized dispatcher core, or the
+	// hardware RQ's atomic access port.
+	sched  *sim.Resource
+	hwq    *rq.RQ
+	nicbuf *rq.NICBuffer
+	swq    []*invocation // software FIFO of ready invocations
+}
+
+type core struct {
+	dom  *domain
+	id   int
+	busy bool
+	// svcID is the core's assigned Service ID register (§4.1); -1 serves
+	// any service (the default when a village hosts one instance).
+	svcID int
+}
+
+// invocation is one service invocation in a request tree.
+type invocation struct {
+	id      uint64
+	svc     *workload.Service
+	opIdx   int
+	dom     *domain
+	parent  *invocation
+	pending int // outstanding children
+	entry   *rq.Entry
+	root    bool
+	start   sim.Time
+	// lastCore is the global core ID this invocation last ran on, -1 if
+	// never scheduled.
+	lastCore int
+	// resumed marks that processor state was saved and must be restored.
+	resumed bool
+	// remote marks a child whose caller is on another server.
+	remote bool
+	// dispatched marks that initial RPC-layer processing already ran.
+	dispatched bool
+	// measured marks roots that arrived after warmup.
+	measured bool
+}
+
+// New builds a machine on the given engine serving a single request type.
+func New(eng *sim.Engine, cfg Config, app *workload.App) *Machine {
+	return NewMix(eng, cfg, app.Catalog, []workload.MixEntry{{Root: app.Root, Weight: 1}})
+}
+
+// NewMix builds a machine serving a weighted mixture of request types from
+// one catalog (§5: the server receives the full application mix; figures
+// report per-type latencies).
+func NewMix(eng *sim.Engine, cfg Config, catalog *workload.Catalog, mix []workload.MixEntry) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if len(mix) == 0 {
+		panic("machine: empty mix")
+	}
+	m := &Machine{
+		cfg:           cfg,
+		eng:           eng,
+		catalog:       catalog,
+		mix:           mix,
+		instances:     make(map[int][]*domain),
+		svcmap:        rpcnet.NewServiceMap(),
+		LatencyByRoot: make(map[int]*stats.Sample),
+	}
+	switch cfg.Topo {
+	case MeshTopo:
+		m.topo = icn.NewMesh(cfg.MeshW, cfg.MeshH, cfg.LinkParams)
+	case FatTreeTopo:
+		m.topo = icn.NewFatTree(cfg.FatTreeLeaves, cfg.LinkParams)
+	case LeafSpineTopo:
+		m.topo = icn.NewLeafSpine(cfg.LeafSpineCfg, cfg.LinkParams)
+	}
+	endpoints := m.topo.NumEndpoints()
+	coresPer := cfg.Cores / cfg.Domains
+	coreID := 0
+	var central *sim.Resource
+	if cfg.CentralDispatcher && cfg.Policy.Centralized {
+		central = &sim.Resource{}
+	}
+	for d := 0; d < cfg.Domains; d++ {
+		dom := &domain{m: m, id: d, endpoint: d * endpoints / cfg.Domains}
+		if central != nil {
+			dom.sched = central
+		} else {
+			dom.sched = &sim.Resource{}
+		}
+		if cfg.Policy.HardwareRQ {
+			dom.hwq = rq.New(cfg.RQCapacity)
+			dom.nicbuf = rq.NewNICBuffer(cfg.NICBufCapacity)
+		}
+		for i := 0; i < coresPer; i++ {
+			c := &core{dom: dom, id: coreID, svcID: -1}
+			coreID++
+			dom.cores = append(dom.cores, c)
+			dom.idle = append(dom.idle, c)
+		}
+		m.domains = append(m.domains, dom)
+	}
+	if err := cfg.Extensions.Validate(&cfg); err != nil {
+		panic(err)
+	}
+	m.applyHeterogeneity()
+	if cfg.Extensions.ColocatedServices > 1 {
+		m.placeColocated()
+	} else {
+		m.placeInstances()
+	}
+	// Populate the top-level NIC's ServiceMap from the placement (§4.2:
+	// "populated by the system software every time a new service instance
+	// is initialized").
+	for svc, doms := range m.instances {
+		for _, dom := range doms {
+			m.svcmap.Register(uint16(svc), uint16(dom.id))
+		}
+	}
+	if cfg.StorageLossProb > 0 {
+		// One R-NIC per cluster endpoint (villages share their cluster's
+		// remote port budget).
+		n := m.topo.NumEndpoints()
+		for i := 0; i < n; i++ {
+			nic := rpcnet.NewRNIC(40, cfg.StorageRTT, cfg.StorageLossProb)
+			// Real transports set the retransmission timeout far above the
+			// RTT (loss detection needs a conservative timer); 50× the 1μs
+			// base RTT is an optimistic datacenter RTO.
+			nic.RTOMultiple = 50
+			m.storageNIC = append(m.storageNIC, nic)
+		}
+	}
+	return m
+}
+
+// placeInstances builds the ServiceMap. Pinned placement allocates domains
+// to services proportionally to their expected invocation load (§4.1: one
+// instance per village, more villages for hotter services); random placement
+// hosts every service everywhere.
+func (m *Machine) placeInstances() {
+	services := m.servicesInTree()
+	if m.cfg.Placement == RandomPlacement {
+		for svc := range services {
+			m.instances[svc] = m.domains
+		}
+		return
+	}
+	// Weights = expected invocations of each service per arriving request,
+	// weighted by the mixture.
+	weights := make(map[int]float64)
+	var walk func(id int, mult float64)
+	walk = func(id int, mult float64) {
+		weights[id] += mult
+		for _, op := range m.catalog.Service(id).Ops {
+			if op.Kind != workload.OpCall {
+				continue
+			}
+			for _, callee := range op.Callees {
+				walk(callee, mult)
+			}
+		}
+	}
+	for _, e := range m.mix {
+		walk(e.Root, e.Weight)
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	// Largest-remainder allocation with a minimum of one domain each.
+	type alloc struct {
+		svc  int
+		n    int
+		frac float64
+	}
+	var allocs []alloc
+	used := 0
+	for svc := 0; svc < len(m.catalog.Services); svc++ {
+		w, ok := weights[svc]
+		if !ok {
+			continue
+		}
+		exact := w / total * float64(len(m.domains))
+		n := int(exact)
+		if n < 1 {
+			n = 1
+		}
+		allocs = append(allocs, alloc{svc: svc, n: n, frac: exact - float64(int(exact))})
+		used += n
+	}
+	for i := 0; used < len(m.domains); i, used = i+1, used+1 {
+		// Distribute leftovers round-robin biased by fractional part order
+		// (allocs is small; a simple pass by descending frac each round).
+		best := 0
+		for j := range allocs {
+			if allocs[j].frac > allocs[best].frac {
+				best = j
+			}
+		}
+		allocs[best].n++
+		allocs[best].frac = 0
+		_ = i
+	}
+	for used > len(m.domains) {
+		// Shrink the largest allocation above 1.
+		best := -1
+		for j := range allocs {
+			if allocs[j].n > 1 && (best < 0 || allocs[j].n > allocs[best].n) {
+				best = j
+			}
+		}
+		if best < 0 {
+			break
+		}
+		allocs[best].n--
+		used--
+	}
+	next := 0
+	for _, a := range allocs {
+		for i := 0; i < a.n && next < len(m.domains); i++ {
+			m.instances[a.svc] = append(m.instances[a.svc], m.domains[next])
+			next++
+		}
+	}
+	// Any unassigned tail domains (rounding) reinforce the heaviest service.
+	if next < len(m.domains) {
+		heaviest := allocs[0].svc
+		for _, a := range allocs {
+			if weights[a.svc] > weights[heaviest] {
+				heaviest = a.svc
+			}
+		}
+		for ; next < len(m.domains); next++ {
+			m.instances[heaviest] = append(m.instances[heaviest], m.domains[next])
+		}
+	}
+}
+
+func (m *Machine) servicesInTree() map[int]bool {
+	out := make(map[int]bool)
+	var walk func(id int)
+	walk = func(id int) {
+		if out[id] {
+			return
+		}
+		out[id] = true
+		for _, op := range m.catalog.Service(id).Ops {
+			if op.Kind != workload.OpCall {
+				continue
+			}
+			for _, callee := range op.Callees {
+				walk(callee)
+			}
+		}
+	}
+	for _, e := range m.mix {
+		walk(e.Root)
+	}
+	return out
+}
+
+// InstanceDomains exposes the ServiceMap for tests.
+func (m *Machine) InstanceDomains(svc int) int { return len(m.instances[svc]) }
+
+// SetMeasureFrom discards roots arriving before t from the latency sample.
+func (m *Machine) SetMeasureFrom(t sim.Time) { m.measureFrom = t }
+
+// pickInstance round-robins over the service's hosting domains (§4.2).
+func (m *Machine) pickInstance(svc int) *domain {
+	doms := m.instances[svc]
+	if len(doms) == 0 {
+		panic(fmt.Sprintf("machine: no instances for service %d", svc))
+	}
+	if m.cfg.Placement == RandomPlacement {
+		return doms[m.eng.Rand("route").Intn(len(doms))]
+	}
+	// Hardware round-robin dispatch via the ServiceMap (§4.2).
+	village, ok := m.svcmap.Dispatch(uint16(svc))
+	if !ok {
+		panic(fmt.Sprintf("machine: ServiceMap has no instances for service %d", svc))
+	}
+	return m.domains[village]
+}
+
+// SubmitRoot injects one external request for the app's root service at the
+// current time. The request passes the top-level NIC and the ICN before
+// reaching its village.
+func (m *Machine) SubmitRoot() {
+	m.Submitted++
+	now := m.eng.Now()
+	inv := &invocation{
+		id:       m.nextInv(),
+		svc:      m.catalog.Service(m.pickRoot()),
+		root:     true,
+		start:    now,
+		lastCore: -1,
+		measured: now >= m.measureFrom,
+	}
+	dom := m.pickInstance(inv.svc.ID)
+	inv.dom = dom
+	// Top-level NIC → village. Conventional designs carry external traffic
+	// across the on-package fabric from the I/O corner; μManycore delivers
+	// via the leaf NH's direct port.
+	at := now + m.cfg.IngressLatency + m.cfg.NICHWDelay
+	if m.cfg.IOViaICN {
+		at, _ = m.ioDeliverIn(at, dom.endpoint, m.cfg.ReqMsgBytes)
+	}
+	m.eng.At(at, func() { m.enqueue(inv) })
+}
+
+// pickRoot draws a request type from the arrival mixture.
+func (m *Machine) pickRoot() int {
+	if len(m.mix) == 1 {
+		return m.mix[0].Root
+	}
+	var total float64
+	for _, e := range m.mix {
+		total += e.Weight
+	}
+	x := m.eng.Rand("mix").Float64() * total
+	for _, e := range m.mix {
+		x -= e.Weight
+		if x < 0 {
+			return e.Root
+		}
+	}
+	return m.mix[len(m.mix)-1].Root
+}
+
+func (m *Machine) nextInv() uint64 {
+	m.invSeq++
+	return m.invSeq
+}
+
+// enqueue deposits a ready invocation in its domain's queue.
+func (m *Machine) enqueue(inv *invocation) {
+	dom := inv.dom
+	if dom.hwq != nil {
+		e := dom.hwq.Enqueue(inv.svc.ID, &rq.Context{RequestID: inv.id, UserData: inv})
+		if e == nil {
+			if !dom.nicbuf.Offer(inv.svc.ID, &rq.Context{RequestID: inv.id, UserData: inv}) {
+				m.reject(inv)
+				return
+			}
+		} else {
+			inv.entry = e
+		}
+		m.kick(dom)
+		return
+	}
+	// Software queue: the enqueue critical section serializes on the
+	// domain's scheduler resource; the work becomes visible when it
+	// completes.
+	enqCost := sim.Time(float64(m.cfg.CyclesToTime(m.cfg.Policy.EnqueueCycles)) * m.lockFactor(dom))
+	grant := dom.sched.Acquire(m.eng.Now(), enqCost)
+	m.eng.At(grant, func() {
+		dom.swq = append(dom.swq, inv)
+		m.kick(dom)
+	})
+}
+
+// reject drops a request that found both the RQ and the NIC buffer full
+// (§4.3). A rejected child still answers its parent so the tree terminates.
+func (m *Machine) reject(inv *invocation) {
+	m.Rejected++
+	if inv.parent != nil {
+		m.respond(inv)
+	} else {
+		m.rejectedRoots++
+	}
+}
+
+// perfOf returns the effective compute-speed divisor of a domain.
+func (m *Machine) perfOf(dom *domain) float64 {
+	if dom.perfMult > 0 {
+		return m.cfg.PerfFactor * dom.perfMult
+	}
+	return m.cfg.PerfFactor
+}
+
+// workFor reports whether a specific core has dispatchable work, honoring
+// its Service ID register and the core-stealing extension.
+func (m *Machine) workFor(c *core) bool {
+	dom := c.dom
+	if dom.hwq != nil {
+		if dom.hwq.HasReady(c.svcID) {
+			return true
+		}
+		if c.svcID >= 0 && m.cfg.Extensions.CoreStealing {
+			return dom.hwq.HasReady(-1)
+		}
+		return false
+	}
+	return len(dom.swq) > 0
+}
+
+// kick wakes idle cores while runnable work remains. Under work stealing,
+// leftover work with no local idle core wakes an idle core elsewhere, which
+// steals it (ZygOS-style idle polling).
+func (m *Machine) kick(dom *domain) {
+	for len(dom.idle) > 0 && m.hasWork(dom) {
+		// Wake the most recently idled core whose Service ID matches the
+		// ready work; without co-location every core matches.
+		woke := false
+		for i := len(dom.idle) - 1; i >= 0; i-- {
+			c := dom.idle[i]
+			if !m.workFor(c) {
+				continue
+			}
+			dom.idle = append(dom.idle[:i], dom.idle[i+1:]...)
+			c.busy = true
+			m.dispatch(c)
+			woke = true
+			break
+		}
+		if !woke {
+			break
+		}
+	}
+	if m.cfg.Policy.WorkStealing && m.hasWork(dom) {
+		for _, other := range m.domains {
+			if other == dom || len(other.idle) == 0 {
+				continue
+			}
+			c := other.idle[len(other.idle)-1]
+			other.idle = other.idle[:len(other.idle)-1]
+			c.busy = true
+			m.dispatch(c)
+			return
+		}
+	}
+}
+
+func (m *Machine) hasWork(dom *domain) bool {
+	if dom.hwq != nil {
+		return dom.hwq.HasReady(-1)
+	}
+	return len(dom.swq) > 0
+}
+
+// lockFactor scales software-lock critical sections with the number of
+// cores sharing the queue: cache-line ping-pong makes a contended lock
+// acquisition several times more expensive than an uncontended one (§3.2's
+// "high synchronization overheads" of centralized queues). Centralized
+// dispatchers and the hardware RQ are unaffected.
+func (m *Machine) lockFactor(dom *domain) float64 {
+	if m.cfg.Policy.Centralized || m.cfg.Policy.HardwareRQ {
+		return 1
+	}
+	f := math.Sqrt(float64(len(dom.cores))) / 12
+	if f < 1 {
+		return 1
+	}
+	return f
+}
+
+// pop removes the next runnable invocation, charging queue-access costs,
+// and returns it with the time the pop completes. Returns nil when no work
+// exists (after a failed steal attempt, if enabled).
+func (m *Machine) pop(c *core) (*invocation, sim.Time) {
+	now := m.eng.Now()
+	dom := c.dom
+	cost := sim.Time(float64(m.cfg.CyclesToTime(m.cfg.Policy.DequeueCycles)) * m.lockFactor(dom))
+	if dom.hwq != nil {
+		e := dom.hwq.Dequeue(c.svcID, c.id)
+		if e == nil && c.svcID >= 0 && m.cfg.Extensions.CoreStealing {
+			// §8 extension: an idle core temporarily serves a co-located
+			// instance when its own service has no ready work.
+			e = dom.hwq.Dequeue(-1, c.id)
+		}
+		if e != nil {
+			grant := dom.sched.Acquire(now, cost)
+			return e.Ctx.UserData.(*invocation), grant
+		}
+		return nil, now
+	}
+	if len(dom.swq) > 0 {
+		inv := dom.swq[0]
+		dom.swq = dom.swq[1:]
+		grant := dom.sched.Acquire(now, cost)
+		return inv, grant
+	}
+	if m.cfg.Policy.WorkStealing {
+		// Steal from the longest software queue in the machine.
+		var victim *domain
+		best := 0
+		for _, d := range m.domains {
+			if d != dom && len(d.swq) > best {
+				best = len(d.swq)
+				victim = d
+			}
+		}
+		if victim != nil {
+			inv := victim.swq[0]
+			victim.swq = victim.swq[1:]
+			steal := m.cfg.CyclesToTime(m.cfg.Policy.StealCycles)
+			grant := victim.sched.Acquire(now, cost+steal)
+			// The stolen invocation migrates to this core's domain.
+			inv.dom = dom
+			return inv, grant
+		}
+	}
+	return nil, now
+}
+
+// dispatch runs on a woken core: pop work, charge restore costs, execute the
+// next compute segment.
+//
+// Cost placement follows §4.4: with a centralized software scheduler
+// (Shinjuku/Shenango), the *dispatcher* performs the state restore, so the
+// context-switch cycles occupy the domain's dispatcher resource and
+// serialize across cores — the scalability ceiling the paper measures. With
+// distributed software scheduling or the hardware engine, the restore runs
+// on the dispatching core itself.
+func (m *Machine) dispatch(c *core) {
+	inv, readyAt := m.pop(c)
+	if inv == nil {
+		c.busy = false
+		c.dom.idle = append(c.dom.idle, c)
+		return
+	}
+	if inv.entry != nil && inv.entry.Status != rq.Running {
+		// Defensive: hardware dequeue marks Running atomically; software
+		// path has no entry.
+		panic("machine: dequeued entry not running")
+	}
+	start := readyAt
+	// Restore saved state (hardware or software context switch).
+	if inv.resumed {
+		cs := m.cfg.CyclesToTime(m.cfg.Policy.CSCycles)
+		if m.cfg.Policy.Centralized {
+			start = c.dom.sched.Acquire(start, cs)
+		} else {
+			start += cs
+		}
+		// Migration/coherence penalty when resuming on a different core.
+		if inv.lastCore >= 0 && inv.lastCore != c.id {
+			if m.cfg.GlobalCoherence {
+				start += m.cfg.CyclesToTime(m.cfg.CoherencePenaltyCycles)
+				m.injectCoherenceTraffic(c.dom)
+			} else {
+				start += m.cfg.CyclesToTime(m.cfg.VillageResumePenaltyCycles)
+			}
+		}
+	}
+	// RPC-layer processing on first dispatch (software stacks only; the
+	// hardware NIC did it off-core).
+	if !inv.dispatched {
+		inv.dispatched = true
+		start += m.cfg.CyclesToTime(m.cfg.RPCProcCycles)
+	} else if inv.resumed {
+		// Response deserialization on resume.
+		start += m.cfg.CyclesToTime(m.cfg.ResumeProcCycles)
+	}
+	inv.resumed = false
+	inv.lastCore = c.id
+
+	op := inv.svc.Ops[inv.opIdx]
+	if op.Kind != workload.OpCompute {
+		panic(fmt.Sprintf("machine: dispatch at non-compute op %v", op.Kind))
+	}
+	dur := sim.FromMicros(op.Time.Sample(m.eng.Rand("service")) / m.perfOf(c.dom))
+	end := start + dur
+	m.coreBusy += end - m.eng.Now()
+	m.eng.At(end, func() { m.segmentEnd(c, inv) })
+}
+
+// injectCoherenceTraffic models directory/remote-cache messages under global
+// coherence: two 64B messages to the home directory's cluster.
+func (m *Machine) injectCoherenceTraffic(dom *domain) {
+	rng := m.eng.Rand("coherence")
+	dst := rng.Intn(m.topo.NumEndpoints())
+	icn.Deliver(m.topo, m.eng.Now(), dom.endpoint, dst, 64, rng, m.cfg.ICNContention)
+	icn.Deliver(m.topo, m.eng.Now(), dst, dom.endpoint, 64, rng, m.cfg.ICNContention)
+}
+
+// segmentEnd advances past the finished compute op and performs the next
+// blocking op (or completes the invocation).
+func (m *Machine) segmentEnd(c *core, inv *invocation) {
+	inv.opIdx++
+	if inv.opIdx >= len(inv.svc.Ops) {
+		m.complete(c, inv)
+		return
+	}
+	op := inv.svc.Ops[inv.opIdx]
+	switch op.Kind {
+	case workload.OpCompute:
+		// Back-to-back compute (no blocking op between): keep running.
+		dur := sim.FromMicros(op.Time.Sample(m.eng.Rand("service")) / m.perfOf(c.dom))
+		m.coreBusy += dur
+		m.eng.After(dur, func() { m.segmentEnd(c, inv) })
+	case workload.OpStorage:
+		inv.opIdx++
+		saved := m.block(c, inv, 1)
+		var lat sim.Time
+		if len(m.storageNIC) > 0 {
+			// Lossy external storage network: the R-NIC handles pacing,
+			// retransmission, and congestion control; its delivery time
+			// already includes the base RTT.
+			nic := m.storageNIC[inv.dom.endpoint]
+			rng := m.eng.Rand("storage-loss")
+			delivered := nic.Send(saved, m.cfg.StorageReqBytes, rng.Float64)
+			lat = delivered - saved + sim.FromMicros(op.Time.Sample(m.eng.Rand("storage")))
+		} else {
+			lat = m.cfg.StorageRTT + sim.FromMicros(op.Time.Sample(m.eng.Rand("storage")))
+		}
+		if m.cfg.IOViaICN {
+			// Storage messages cross the on-package ICN to the package I/O
+			// point and back — the funnel traffic of Fig 7.
+			out, hops1 := m.ioDeliverOut(saved, inv.dom.endpoint, m.cfg.StorageReqBytes)
+			back, hops2 := m.ioDeliverIn(out+lat, inv.dom.endpoint, m.cfg.StorageRespBytes)
+			m.hopSum += uint64(hops1 + hops2)
+			m.msgCount += 2
+			m.eng.At(back, func() { m.resolveChild(inv) })
+		} else {
+			m.eng.At(saved+lat, func() { m.resolveChild(inv) })
+		}
+	case workload.OpCall:
+		inv.opIdx++
+		callees := op.Callees
+		saved := m.block(c, inv, len(callees))
+		for _, svcID := range callees {
+			m.sendChild(c, inv, svcID, saved)
+		}
+	}
+}
+
+// block saves the invocation's state (a context switch), marks it blocked
+// on n outstanding responses, and frees the core. It returns the time the
+// save completes — outgoing RPCs depart only then, so responses can never
+// race an unsaved context. With a centralized scheduler the save occupies
+// the dispatcher (§4.4); otherwise it runs on the core.
+func (m *Machine) block(c *core, inv *invocation, n int) sim.Time {
+	inv.pending = n
+	inv.resumed = true
+	now := m.eng.Now()
+	cs := m.cfg.CyclesToTime(m.cfg.Policy.CSCycles)
+	var saved sim.Time
+	if m.cfg.Policy.Centralized {
+		saved = c.dom.sched.Acquire(now, cs)
+	} else {
+		saved = now + cs
+	}
+	if inv.entry != nil {
+		c.dom.hwq.ContextSwitch(inv.entry, 320)
+	}
+	m.coreBusy += saved - now
+	m.eng.At(saved, func() { m.release(c) })
+	return saved
+}
+
+// release frees the core and immediately looks for more work.
+func (m *Machine) release(c *core) {
+	c.busy = false
+	c.dom.idle = append(c.dom.idle, c)
+	m.kick(c.dom)
+}
+
+// sendChild issues a synchronous child RPC: sender-side processing, ICN
+// traversal, then enqueue at the callee instance's domain. The message
+// departs no earlier than the parent's state save completed.
+func (m *Machine) sendChild(c *core, parent *invocation, svcID int, saved sim.Time) {
+	rng := m.eng.Rand("icn")
+	child := &invocation{
+		id:       m.nextInv(),
+		svc:      m.catalog.Service(svcID),
+		parent:   parent,
+		lastCore: -1,
+	}
+	if m.cfg.TreeAffinity {
+		child.dom = parent.dom
+	} else {
+		child.dom = m.pickInstance(svcID)
+	}
+	dep := saved + m.cfg.CyclesToTime(m.cfg.SendProcCycles)
+	src := m.srcEndpoint(c)
+	dst := m.dstEndpoint(child.dom, rng)
+	at, hops := icn.Deliver(m.topo, dep, src, dst, m.cfg.ReqMsgBytes, rng, m.cfg.ICNContention)
+	m.hopSum += uint64(hops)
+	m.msgCount++
+	at += m.cfg.NICHWDelay
+	if m.cfg.RemoteCallFrac > 0 && rng.Float64() < m.cfg.RemoteCallFrac {
+		child.remote = true
+		at += m.cfg.RemoteRTT / 2
+	}
+	m.eng.At(at, func() { m.enqueue(child) })
+}
+
+// ioEndpoint is the topology endpoint adjacent to the package's top-level
+// NIC and memory controllers for topologies whose I/O attaches at an
+// endpoint (the mesh corner). Fat-trees attach I/O at the root instead —
+// see ioDeliverOut/ioDeliverIn.
+func (m *Machine) ioEndpoint() int { return 0 }
+
+// ioDeliverOut routes an outbound (storage/external) message from a domain
+// endpoint to the package I/O attach point.
+func (m *Machine) ioDeliverOut(dep sim.Time, from, size int) (sim.Time, int) {
+	if ft, ok := m.topo.(*icn.FatTree); ok {
+		path := ft.PathToRoot(from)
+		at := dep
+		for _, l := range path {
+			at = l.Traverse(at, size, m.cfg.ICNContention)
+		}
+		return at, len(path)
+	}
+	return icn.Deliver(m.topo, dep, from, m.ioEndpoint(), size, m.eng.Rand("icn"), m.cfg.ICNContention)
+}
+
+// ioDeliverIn routes an inbound message from the package I/O attach point
+// to a domain endpoint.
+func (m *Machine) ioDeliverIn(dep sim.Time, to, size int) (sim.Time, int) {
+	if ft, ok := m.topo.(*icn.FatTree); ok {
+		path := ft.PathFromRoot(to)
+		at := dep
+		for _, l := range path {
+			at = l.Traverse(at, size, m.cfg.ICNContention)
+		}
+		return at, len(path)
+	}
+	return icn.Deliver(m.topo, dep, m.ioEndpoint(), to, size, m.eng.Rand("icn"), m.cfg.ICNContention)
+}
+
+// srcEndpoint maps a sending core to its topology endpoint.
+func (m *Machine) srcEndpoint(c *core) int {
+	if m.cfg.Topo == MeshTopo && m.cfg.Domains == 1 {
+		return c.id % m.topo.NumEndpoints()
+	}
+	return c.dom.endpoint
+}
+
+// dstEndpoint maps a destination domain to its endpoint.
+func (m *Machine) dstEndpoint(dom *domain, rng *rand.Rand) int {
+	if m.cfg.Topo == MeshTopo && m.cfg.Domains == 1 {
+		return rng.Intn(m.topo.NumEndpoints())
+	}
+	return dom.endpoint
+}
+
+// resolveChild delivers one response to a blocked parent; the last response
+// unblocks it.
+func (m *Machine) resolveChild(parent *invocation) {
+	parent.pending--
+	if parent.pending > 0 {
+		return
+	}
+	m.unblock(parent)
+}
+
+// unblock makes a blocked invocation runnable again in its domain.
+func (m *Machine) unblock(inv *invocation) {
+	dom := inv.dom
+	if inv.entry != nil {
+		dom.hwq.Unblock(inv.entry)
+		m.kick(dom)
+		return
+	}
+	// Software: re-enqueued at the tail (arrival priority lost).
+	enqCost := sim.Time(float64(m.cfg.CyclesToTime(m.cfg.Policy.EnqueueCycles)) * m.lockFactor(dom))
+	grant := dom.sched.Acquire(m.eng.Now(), enqCost)
+	m.eng.At(grant, func() {
+		dom.swq = append(dom.swq, inv)
+		m.kick(dom)
+	})
+}
+
+// complete finishes an invocation: the Complete instruction, the response
+// message, and statistics.
+func (m *Machine) complete(c *core, inv *invocation) {
+	m.Invocations++
+	if inv.entry != nil {
+		c.dom.hwq.Complete(inv.entry)
+		// Freed RQ slots admit NIC-buffered requests.
+		for _, e := range c.dom.nicbuf.Drain(c.dom.hwq) {
+			e.Ctx.UserData.(*invocation).entry = e
+		}
+	}
+	m.respond(inv)
+	m.release(c)
+}
+
+// respond routes an invocation's result to its parent or, for roots, out of
+// the package, recording end-to-end latency.
+func (m *Machine) respond(inv *invocation) {
+	rng := m.eng.Rand("icn")
+	if inv.parent == nil {
+		at := m.eng.Now() + m.cfg.IngressLatency
+		if m.cfg.IOViaICN {
+			at, _ = m.ioDeliverOut(m.eng.Now(), inv.dom.endpoint, m.cfg.RespMsgBytes)
+			at += m.cfg.IngressLatency
+		}
+		if inv.measured {
+			done := at
+			lat := (done - inv.start).Micros()
+			root := inv.svc.ID
+			m.eng.At(at, func() {
+				m.Latency.Add(lat)
+				byRoot := m.LatencyByRoot[root]
+				if byRoot == nil {
+					byRoot = &stats.Sample{}
+					m.LatencyByRoot[root] = byRoot
+				}
+				byRoot.Add(lat)
+				m.Completed++
+			})
+		} else {
+			m.eng.At(at, func() { m.Completed++ })
+		}
+		return
+	}
+	parent := inv.parent
+	src := inv.dom.endpoint
+	dst := parent.dom.endpoint
+	at, hops := icn.Deliver(m.topo, m.eng.Now(), src, dst, m.cfg.RespMsgBytes, rng, m.cfg.ICNContention)
+	m.hopSum += uint64(hops)
+	m.msgCount++
+	at += m.cfg.NICHWDelay
+	if inv.remote {
+		at += m.cfg.RemoteRTT / 2
+	}
+	m.eng.At(at, func() { m.resolveChild(parent) })
+}
+
+// Utilization reports aggregate core busy time over the window.
+func (m *Machine) Utilization(window sim.Time) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(m.coreBusy) / float64(sim.Time(m.cfg.Cores)*window)
+}
+
+// MeanHops reports the average ICN path length observed.
+func (m *Machine) MeanHops() float64 {
+	if m.msgCount == 0 {
+		return 0
+	}
+	return float64(m.hopSum) / float64(m.msgCount)
+}
+
+// Topology exposes the ICN for utilization reporting.
+func (m *Machine) Topology() icn.Topology { return m.topo }
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }

@@ -1,0 +1,227 @@
+package machine
+
+import (
+	"umanycore/internal/dist"
+	"umanycore/internal/icn"
+	"umanycore/internal/sim"
+	"umanycore/internal/stats"
+	"umanycore/internal/workload"
+)
+
+// ArrivalKind selects the open-loop arrival process.
+type ArrivalKind int
+
+// Arrival processes.
+const (
+	// PoissonArrivals is the paper's default (§5).
+	PoissonArrivals ArrivalKind = iota
+	// BurstyArrivals uses the Alibaba-like MMPP of §3.2.
+	BurstyArrivals
+	// TraceArrivals replays the Alibaba-like per-second load series
+	// (Fig 2's marginal), scaled so its long-run mean matches RunConfig.RPS.
+	TraceArrivals
+)
+
+// RunConfig drives one experiment on one machine.
+type RunConfig struct {
+	App *workload.App
+	// Mix, when non-empty, replaces App's root with a weighted mixture of
+	// request types from App's catalog (the §5 mixed-arrival methodology);
+	// per-type latencies land in Result.PerRoot.
+	Mix []workload.MixEntry
+	// RPS is the offered load in requests per second.
+	RPS float64
+	// Duration is the arrival window.
+	Duration sim.Time
+	// Warmup discards requests arriving before this offset.
+	Warmup sim.Time
+	// Drain bounds how long after the arrival window the simulation keeps
+	// running to let in-flight requests finish.
+	Drain sim.Time
+	// Arrivals selects the arrival process.
+	Arrivals ArrivalKind
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// normalized fills defaults.
+func (rc RunConfig) normalized() RunConfig {
+	if rc.Duration == 0 {
+		rc.Duration = sim.Second
+	}
+	if rc.Warmup == 0 {
+		rc.Warmup = rc.Duration / 10
+	}
+	if rc.Drain == 0 {
+		rc.Drain = 2 * sim.Second
+	}
+	return rc
+}
+
+// Result summarizes one run.
+type Result struct {
+	Machine string
+	App     string
+	RPS     float64
+	// Latency is the end-to-end latency distribution in microseconds
+	// (measured requests only).
+	Latency stats.Summary
+	// Sample is the raw latency sample behind Latency (microseconds); fleet
+	// aggregation merges these.
+	Sample *stats.Sample
+	// PerRoot summarizes latency per request type (root service ID) for
+	// mixed runs.
+	PerRoot map[int]stats.Summary
+	// TailToAvg is P99/mean.
+	TailToAvg float64
+	// Submitted/Completed/Rejected/Unfinished account for every root.
+	Submitted  uint64
+	Completed  uint64
+	Rejected   uint64
+	Unfinished int64
+	// Invocations counts finished service invocations.
+	Invocations uint64
+	// Utilization is aggregate core busy time over the arrival window.
+	Utilization float64
+	// MeanHops is the observed mean ICN path length.
+	MeanHops float64
+	// MaxLinkUtil is the hottest ICN link's utilization.
+	MaxLinkUtil float64
+	// Events is the simulation event count (performance reporting).
+	Events uint64
+}
+
+// Run executes one machine under open-loop load and returns the results.
+func Run(cfg Config, rc RunConfig) *Result {
+	rc = rc.normalized()
+	eng := sim.NewEngine(rc.Seed)
+	var m *Machine
+	if len(rc.Mix) > 0 {
+		m = NewMix(eng, cfg, rc.App.Catalog, rc.Mix)
+	} else {
+		m = New(eng, cfg, rc.App)
+	}
+	m.SetMeasureFrom(rc.Warmup)
+
+	var arrivalGap func() sim.Time
+	switch rc.Arrivals {
+	case BurstyArrivals:
+		mmpp := workload.BurstyArrivals(rc.RPS)
+		arrivalGap = func() sim.Time {
+			return sim.FromSeconds(mmpp.NextGap(eng.Rand("arrivals")))
+		}
+	case TraceArrivals:
+		// Per-second rates drawn from the production-trace marginal
+		// (median 500 RPS, heavy upper tail), rescaled to the target mean.
+		g := workload.NewTraceGen(rc.Seed + 104729)
+		loads := g.ServerLoad(1024)
+		var sum float64
+		for _, l := range loads {
+			sum += float64(l)
+		}
+		scale := rc.RPS / (sum / float64(len(loads)))
+		arrivalGap = func() sim.Time {
+			r := eng.Rand("arrivals")
+			sec := int(eng.Now() / sim.Second)
+			rate := float64(loads[sec%len(loads)]) * scale
+			if rate <= 0 {
+				rate = 1
+			}
+			return sim.FromSeconds(dist.Poisson{Rate: rate}.NextGap(r))
+		}
+	default:
+		arrivalGap = func() sim.Time {
+			return sim.FromSeconds(dist.Poisson{Rate: rc.RPS}.NextGap(eng.Rand("arrivals")))
+		}
+	}
+
+	var schedule func()
+	schedule = func() {
+		if eng.Now() >= rc.Duration {
+			return
+		}
+		m.SubmitRoot()
+		eng.After(arrivalGap(), schedule)
+	}
+	eng.At(arrivalGap(), schedule)
+	eng.RunUntil(rc.Duration + rc.Drain)
+
+	res := &Result{
+		Machine:     cfg.Name,
+		App:         rc.App.Name,
+		RPS:         rc.RPS,
+		Latency:     m.Latency.Summarize(),
+		Sample:      &m.Latency,
+		PerRoot:     perRootSummaries(m),
+		TailToAvg:   m.Latency.TailToAvg(),
+		Submitted:   m.Submitted,
+		Completed:   m.Completed,
+		Rejected:    m.Rejected,
+		Unfinished:  int64(m.Submitted) - int64(m.Completed) - int64(m.rejectedRoots),
+		Invocations: m.Invocations,
+		Utilization: m.Utilization(rc.Duration),
+		MeanHops:    m.MeanHops(),
+		MaxLinkUtil: icn.MaxUtilization(m.topo, rc.Duration),
+		Events:      eng.Fired(),
+	}
+	return res
+}
+
+func perRootSummaries(m *Machine) map[int]stats.Summary {
+	out := make(map[int]stats.Summary, len(m.LatencyByRoot))
+	for root, s := range m.LatencyByRoot {
+		out[root] = s.Summarize()
+	}
+	return out
+}
+
+// ContentionFreeAvg measures the average end-to-end latency at near-zero
+// load — the QoS reference of §6.5 ("5× the contention-free average").
+func ContentionFreeAvg(cfg Config, app *workload.App, seed int64) float64 {
+	res := Run(cfg, RunConfig{
+		App:      app,
+		RPS:      50, // sparse enough that requests never overlap
+		Duration: 2 * sim.Second,
+		Warmup:   200 * sim.Millisecond,
+		Seed:     seed,
+	})
+	return res.Latency.Mean
+}
+
+// MaxQoSThroughput binary-searches the largest offered load whose P99 stays
+// within qosFactor× the contention-free average and whose rejections remain
+// negligible (Fig 18). Returns the throughput in RPS.
+func MaxQoSThroughput(cfg Config, app *workload.App, qosFactor float64, loRPS, hiRPS float64, seed int64) float64 {
+	limit := qosFactor * ContentionFreeAvg(cfg, app, seed)
+	ok := func(rps float64) bool {
+		res := Run(cfg, RunConfig{
+			App:      app,
+			RPS:      rps,
+			Duration: 500 * sim.Millisecond,
+			Warmup:   100 * sim.Millisecond,
+			Drain:    sim.Second,
+			Seed:     seed,
+		})
+		if res.Completed == 0 {
+			return false
+		}
+		bad := float64(res.Rejected) + float64(res.Unfinished)
+		if bad > 0.01*float64(res.Submitted) {
+			return false
+		}
+		return res.Latency.P99 <= limit
+	}
+	if !ok(loRPS) {
+		return loRPS
+	}
+	lo, hi := loRPS, hiRPS
+	for hi-lo > 0.05*lo {
+		mid := (lo + hi) / 2
+		if ok(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

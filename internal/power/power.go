@@ -1,0 +1,152 @@
+// Package power is the CACTI + McPAT stand-in: an analytical area/power
+// model for cores and cache hierarchies at 10nm, calibrated to reproduce the
+// paper's published outputs —
+//
+//   - per-core power (core + its cache-hierarchy share): 10.225W ServerClass,
+//     0.396W ScaleOut, 0.408W μManycore (§5);
+//   - package areas: 547.2mm² for the 1024-core μManycore vs 176.1mm² for
+//     the 40-core ServerClass, with μManycore 2.9% larger than ScaleOut and
+//     3.1× larger than ServerClass-40 (§6.8);
+//   - the derived sizings: the iso-power ServerClass has 40 cores, the
+//     iso-area ServerClass has 128 cores and draws ≈3.2× μManycore's power.
+//
+// The functional forms are standard first-order scaling laws (dynamic power
+// ∝ issue-width and frequency super-linearly, window structures as
+// square-root, SRAM power/area linear in capacity); the two coefficients of
+// each law are solved from the paper's anchor values.
+package power
+
+import "math"
+
+// CoreSpec describes a core and its per-core cache capacity.
+type CoreSpec struct {
+	Name       string
+	IssueWidth int
+	FreqGHz    float64
+	ROB        int
+	LSQ        int
+	// CacheKBPerCore is the total cache capacity attributed to one core
+	// (L1 + private L2 + shared-L2/L3 share).
+	CacheKBPerCore float64
+	// HWExtras marks μManycore's additional hardware (request queue,
+	// context-switch engine, extra NICs).
+	HWExtras bool
+}
+
+// Table 2 core specs.
+
+// ServerClassCore returns the IceLake-like big core: 6-issue, 3GHz,
+// 352-entry ROB, 256-entry LSQ, 64KB L1 + 2MB L2 + 2MB L3/core.
+func ServerClassCore() CoreSpec {
+	return CoreSpec{
+		Name: "ServerClass", IssueWidth: 6, FreqGHz: 3,
+		ROB: 352, LSQ: 256, CacheKBPerCore: 64 + 2048 + 2048,
+	}
+}
+
+// ScaleOutCore returns the A15-like small core: 4-issue, 2GHz, 64-entry
+// ROB/LSQ, 64KB L1 + a 1/8 share of a 256KB L2.
+func ScaleOutCore() CoreSpec {
+	return CoreSpec{
+		Name: "ScaleOut", IssueWidth: 4, FreqGHz: 2,
+		ROB: 64, LSQ: 64, CacheKBPerCore: 64 + 256.0/8,
+	}
+}
+
+// UManycoreCore is the ScaleOut core plus the hardware request-queue and
+// context-switch support.
+func UManycoreCore() CoreSpec {
+	c := ScaleOutCore()
+	c.Name = "uManycore"
+	c.HWExtras = true
+	return c
+}
+
+// Model coefficients, solved from the §5/§6.8 anchors (see package comment).
+const (
+	powerCoreCoeff  = 0.01443  // W per (issue^1.2 · f^1.9 · sqrt(window/128))
+	powerCacheCoeff = 6.45e-4  // W per KB per GHz
+	hwExtrasPowerW  = 0.012    // RQ + CS engine + extra NIC, per core
+	areaCoreCoeff   = 0.09273  // mm² per (issue^1.1 · window/128)
+	areaCacheCoeff  = 2.537e-4 // mm² per KB
+)
+
+// CorePower returns the combined dynamic + static power of one core and its
+// cache-hierarchy share, in watts.
+func CorePower(s CoreSpec) float64 {
+	window := float64(s.ROB+s.LSQ) / 128
+	p := powerCoreCoeff*math.Pow(float64(s.IssueWidth), 1.2)*math.Pow(s.FreqGHz, 1.9)*math.Sqrt(window) +
+		powerCacheCoeff*s.CacheKBPerCore*s.FreqGHz
+	if s.HWExtras {
+		p += hwExtrasPowerW
+	}
+	return p
+}
+
+// CoreArea returns the area of one core and its cache share, in mm².
+func CoreArea(s CoreSpec) float64 {
+	window := float64(s.ROB+s.LSQ) / 128
+	return areaCoreCoeff*math.Pow(float64(s.IssueWidth), 1.1)*window +
+		areaCacheCoeff*s.CacheKBPerCore
+}
+
+// ChipSpec is a full processor package.
+type ChipSpec struct {
+	Core CoreSpec
+	// Cores is the core count.
+	Cores int
+	// UncoreAreaMM2 covers the non-core chiplets: network hubs, memory
+	// pools, top-level NIC, memory controllers.
+	UncoreAreaMM2 float64
+}
+
+// Paper package configurations.
+
+// ServerClassChip returns the n-core ServerClass package (n = 40 iso-power,
+// n = 128 iso-area).
+func ServerClassChip(n int) ChipSpec {
+	return ChipSpec{Core: ServerClassCore(), Cores: n, UncoreAreaMM2: 7.4}
+}
+
+// ScaleOutChip returns the 1024-core ScaleOut package.
+func ScaleOutChip() ChipSpec {
+	return ChipSpec{Core: ScaleOutCore(), Cores: 1024, UncoreAreaMM2: 71.0}
+}
+
+// UManycoreChip returns the 1024-core μManycore package (74 chiplets: 32
+// village chiplets, 32 memory pools, NH chiplets, top-level NIC).
+func UManycoreChip() ChipSpec {
+	return ChipSpec{Core: UManycoreCore(), Cores: 1024, UncoreAreaMM2: 86.4}
+}
+
+// TotalPower returns package power in watts.
+func (c ChipSpec) TotalPower() float64 { return float64(c.Cores) * CorePower(c.Core) }
+
+// TotalArea returns package area in mm².
+func (c ChipSpec) TotalArea() float64 {
+	return float64(c.Cores)*CoreArea(c.Core) + c.UncoreAreaMM2
+}
+
+// IsoPowerCores returns how many cores of the given spec fit within the
+// target power budget.
+func IsoPowerCores(targetW float64, core CoreSpec) int {
+	p := CorePower(core)
+	if p <= 0 {
+		return 0
+	}
+	return int(targetW / p)
+}
+
+// IsoAreaCores returns how many cores of the given spec (plus the fixed
+// uncore) fit within the target area.
+func IsoAreaCores(targetMM2, uncoreMM2 float64, core CoreSpec) int {
+	a := CoreArea(core)
+	if a <= 0 {
+		return 0
+	}
+	n := (targetMM2 - uncoreMM2) / a
+	if n < 0 {
+		return 0
+	}
+	return int(n + 0.5)
+}

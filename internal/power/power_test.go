@@ -1,0 +1,92 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func within(t *testing.T, name string, got, want, relTol float64) {
+	t.Helper()
+	if math.Abs(got-want)/want > relTol {
+		t.Errorf("%s = %v, want %v (±%.0f%%)", name, got, want, relTol*100)
+	}
+}
+
+// §5 anchor: per-core power 10.225 / 0.396 / 0.408 W.
+func TestPerCorePowerAnchors(t *testing.T) {
+	within(t, "ServerClass core power", CorePower(ServerClassCore()), 10.225, 0.05)
+	within(t, "ScaleOut core power", CorePower(ScaleOutCore()), 0.396, 0.05)
+	within(t, "uManycore core power", CorePower(UManycoreCore()), 0.408, 0.05)
+}
+
+// §6.8 anchors: 547.2mm² μManycore vs 176.1mm² ServerClass-40; μManycore
+// 2.9% larger than ScaleOut and 3.1× larger than ServerClass-40.
+func TestAreaAnchors(t *testing.T) {
+	umc := UManycoreChip().TotalArea()
+	sc40 := ServerClassChip(40).TotalArea()
+	so := ScaleOutChip().TotalArea()
+	within(t, "uManycore area", umc, 547.2, 0.03)
+	within(t, "ServerClass-40 area", sc40, 176.1, 0.03)
+	within(t, "uManycore/ServerClass area ratio", umc/sc40, 3.1, 0.05)
+	within(t, "uManycore/ScaleOut area ratio", umc/so, 1.029, 0.02)
+}
+
+// Iso-power sizing: a ServerClass with μManycore's power budget has ~40
+// cores.
+func TestIsoPowerSizing(t *testing.T) {
+	budget := UManycoreChip().TotalPower()
+	n := IsoPowerCores(budget, ServerClassCore())
+	if n < 38 || n > 42 {
+		t.Fatalf("iso-power ServerClass cores = %d, want ≈40", n)
+	}
+}
+
+// Iso-area sizing: a ServerClass with μManycore's area has ~128 cores and
+// draws ≈3.2× the power.
+func TestIsoAreaSizing(t *testing.T) {
+	area := UManycoreChip().TotalArea()
+	n := IsoAreaCores(area, 7.4, ServerClassCore())
+	if n < 122 || n > 134 {
+		t.Fatalf("iso-area ServerClass cores = %d, want ≈128", n)
+	}
+	ratio := ServerClassChip(128).TotalPower() / UManycoreChip().TotalPower()
+	within(t, "iso-area power ratio", ratio, 3.2, 0.06)
+}
+
+func TestHWExtrasDelta(t *testing.T) {
+	d := CorePower(UManycoreCore()) - CorePower(ScaleOutCore())
+	within(t, "hardware extras power", d, hwExtrasPowerW, 1e-9)
+	// Extras don't change the core-area model (they live in the uncore).
+	if CoreArea(UManycoreCore()) != CoreArea(ScaleOutCore()) {
+		t.Fatal("core areas should match")
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	small := ScaleOutCore()
+	big := ServerClassCore()
+	if CorePower(big) <= CorePower(small) {
+		t.Fatal("bigger core should draw more power")
+	}
+	if CoreArea(big) <= CoreArea(small) {
+		t.Fatal("bigger core should be larger")
+	}
+	// More cache, more power/area.
+	c := small
+	c.CacheKBPerCore *= 4
+	if CorePower(c) <= CorePower(small) || CoreArea(c) <= CoreArea(small) {
+		t.Fatal("cache scaling broken")
+	}
+}
+
+func TestSizingEdgeCases(t *testing.T) {
+	if IsoPowerCores(100, CoreSpec{}) != 0 {
+		t.Fatal("zero-power core should size to 0")
+	}
+	if IsoAreaCores(5, 10, ServerClassCore()) != 0 {
+		t.Fatal("negative budget should size to 0")
+	}
+	if IsoAreaCores(100, 0, CoreSpec{}) != 0 {
+		t.Fatal("zero-area core should size to 0")
+	}
+}

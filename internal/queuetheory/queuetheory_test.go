@@ -1,0 +1,109 @@
+package queuetheory
+
+import (
+	"math"
+	"testing"
+)
+
+func approxRel(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if want == 0 {
+		if math.Abs(got) > tol {
+			t.Errorf("%s = %v, want ~0", name, got)
+		}
+		return
+	}
+	if math.Abs(got-want)/math.Abs(want) > tol {
+		t.Errorf("%s = %v, want %v (±%v%%)", name, got, want, tol*100)
+	}
+}
+
+func TestMM1KnownValues(t *testing.T) {
+	// λ=0.5, μ=1: rho=0.5, Wq = 0.5/(1-0.5)/1 = 1, W = 2.
+	wq, w, err := MM1(0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approxRel(t, "Wq", wq, 1, 1e-12)
+	approxRel(t, "W", w, 2, 1e-12)
+	if _, _, err := MM1(2, 1); err == nil {
+		t.Fatal("unstable M/M/1 accepted")
+	}
+}
+
+func TestErlangCKnownValues(t *testing.T) {
+	// Classic value: a=2 Erlangs over c=3 servers → P(wait) ≈ 0.4444.
+	pw, err := ErlangC(2, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approxRel(t, "ErlangC(2,1,3)", pw, 4.0/9.0, 1e-9)
+	// c=1 reduces to rho.
+	pw, _ = ErlangC(0.7, 1, 1)
+	approxRel(t, "ErlangC(c=1)", pw, 0.7, 1e-9)
+	if _, err := ErlangC(3, 1, 3); err == nil {
+		t.Fatal("unstable accepted")
+	}
+	if _, err := ErlangC(1, 1, 0); err == nil {
+		t.Fatal("zero servers accepted")
+	}
+}
+
+func TestMMcConsistentWithMM1(t *testing.T) {
+	wq1, w1, _ := MM1(0.6, 1)
+	wqc, wc, err := MMc(0.6, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approxRel(t, "Wq c=1", wqc, wq1, 1e-9)
+	approxRel(t, "W c=1", wc, w1, 1e-9)
+	// More servers at the same per-server rho wait less.
+	wq2, _, _ := MMc(1.2, 1, 2)
+	wq4, _, _ := MMc(2.4, 1, 4)
+	if !(wq4 < wq2 && wq2 < wq1) {
+		t.Fatalf("pooling should shrink waits: %v %v %v", wq1, wq2, wq4)
+	}
+}
+
+func TestMG1ReducesToMM1(t *testing.T) {
+	// Exponential service: PK must equal M/M/1.
+	wqMM1, _, _ := MM1(0.5, 1)
+	wqPK, _, err := MG1(0.5, 1, ExpSecondMoment(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	approxRel(t, "PK vs MM1", wqPK, wqMM1, 1e-12)
+	// Deterministic service halves the wait (Cs²=0).
+	wqDet, _, _ := MG1(0.5, 1, DetSecondMoment(1))
+	approxRel(t, "det vs exp", wqDet, wqMM1/2, 1e-12)
+	if _, _, err := MG1(1.2, 1, 2); err == nil {
+		t.Fatal("unstable M/G/1 accepted")
+	}
+}
+
+func TestSecondMoments(t *testing.T) {
+	approxRel(t, "exp E[S²]", ExpSecondMoment(3), 18, 1e-12)
+	approxRel(t, "det E[S²]", DetSecondMoment(3), 9, 1e-12)
+	// Lognormal with sigma→0 approaches deterministic.
+	approxRel(t, "lgn sigma→0", LognormalSecondMoment(3, 1e-6), 9, 1e-3)
+	// Bimodal point mass at a single value is deterministic.
+	approxRel(t, "bimodal degenerate", BimodalSecondMoment(3, 3, 0.5), 9, 1e-12)
+	// Heavier tails raise the second moment.
+	if LognormalSecondMoment(3, 1.0) <= 9 {
+		t.Fatal("lognormal second moment too small")
+	}
+}
+
+func TestMMcP99Wait(t *testing.T) {
+	p99, err := MMcP99Wait(0.8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// M/M/1 at rho 0.8: P99 wait = ln(100×0.8)/(1−0.8) = ln(80)/0.2.
+	approxRel(t, "P99 wait", p99, math.Log(80)/0.2, 1e-9)
+	// Light load: almost nobody waits → 0.
+	p99, _ = MMcP99Wait(0.01, 1, 16)
+	if p99 != 0 {
+		t.Fatalf("light-load P99 = %v", p99)
+	}
+}

@@ -1,0 +1,139 @@
+package rpcnet
+
+import (
+	"fmt"
+
+	"umanycore/internal/sim"
+)
+
+// LNIC models a village's local I/O port (§4.1): it runs on the lossless
+// on-package network with back-pressure, so it needs no retransmission,
+// flow control or congestion control — a message is accepted when the
+// egress pipe has room and is then guaranteed to arrive. The pipe is a
+// serial resource; Send returns the time the message has fully left the
+// NIC (the back-pressure point).
+type LNIC struct {
+	// PsPerByte is the egress serialization rate.
+	PsPerByte sim.Time
+	// ProcDelay is the fixed hardware processing time per message (header
+	// parse / build, RQ hand-off).
+	ProcDelay sim.Time
+	pipe      sim.Resource
+	// Sent counts accepted messages.
+	Sent uint64
+}
+
+// Send enqueues a message of wireBytes at time now; the returned time is
+// when the sender may consider it handed to the network.
+func (n *LNIC) Send(now sim.Time, wireBytes int) sim.Time {
+	n.Sent++
+	ser := n.PsPerByte * sim.Time(wireBytes)
+	return n.pipe.Acquire(now, ser) + n.ProcDelay
+}
+
+// Backlog reports the current back-pressure delay.
+func (n *LNIC) Backlog(now sim.Time) sim.Time { return n.pipe.QueueDelay(now) }
+
+// RNIC models a village's remote I/O port: it talks to the lossy external
+// world, so it keeps per-flow sequence state, retransmits on timeout, and
+// runs an AIMD congestion window sized by acknowledgments (§4.1: "it
+// estimates congestion using ACK packets, e.g., in TCP or RDMA").
+//
+// The model is analytic rather than packet-replayed: given a loss
+// probability and base RTT, Send computes the expected completion time of a
+// message — serialization, congestion-window pacing, and the geometric
+// retransmission tail — and updates the window the way AIMD would on the
+// realized outcome. Determinism comes from the caller's random stream.
+type RNIC struct {
+	PsPerByte sim.Time
+	BaseRTT   sim.Time
+	// LossProb is the external network's per-transmission drop rate.
+	LossProb float64
+	// RTOMultiple scales the retransmission timeout over BaseRTT.
+	RTOMultiple int
+
+	pipe sim.Resource
+	cwnd float64 // congestion window in messages
+
+	// Stats.
+	Sent       uint64
+	Retransmit uint64
+}
+
+// NewRNIC builds a remote NIC with sane defaults filled in.
+func NewRNIC(psPerByte, baseRTT sim.Time, lossProb float64) *RNIC {
+	if lossProb < 0 || lossProb >= 1 {
+		panic(fmt.Sprintf("rpcnet: loss probability %v out of range", lossProb))
+	}
+	return &RNIC{
+		PsPerByte:   psPerByte,
+		BaseRTT:     baseRTT,
+		LossProb:    lossProb,
+		RTOMultiple: 3,
+		cwnd:        8,
+	}
+}
+
+// Cwnd exposes the current congestion window (messages in flight).
+func (n *RNIC) Cwnd() float64 { return n.cwnd }
+
+// Send transmits a message of wireBytes at now, using rand01 draws in
+// [0,1) to realize losses, and returns the time the message is known
+// delivered (ACK received). The congestion window halves on loss and grows
+// additively on success.
+func (n *RNIC) Send(now sim.Time, wireBytes int, rand01 func() float64) sim.Time {
+	n.Sent++
+	ser := n.PsPerByte * sim.Time(wireBytes)
+	// Window pacing: a full window ahead of us delays our first
+	// transmission by its serialization time.
+	pacing := sim.Time(0)
+	if n.cwnd < 1 {
+		n.cwnd = 1
+	}
+	if backlog := n.pipe.QueueDelay(now); backlog > 0 {
+		pacing = backlog / sim.Time(int64(n.cwnd))
+	}
+	t := n.pipe.Acquire(now+pacing, ser)
+	// Transmission attempts until one survives.
+	for rand01() < n.LossProb {
+		n.Retransmit++
+		// Timeout, multiplicative decrease, retransmit.
+		n.cwnd = n.cwnd / 2
+		if n.cwnd < 1 {
+			n.cwnd = 1
+		}
+		t += sim.Time(n.RTOMultiple) * n.BaseRTT
+		t = n.pipe.Acquire(t, ser)
+	}
+	// Delivered; ACK returns half an RTT after arrival.
+	n.cwnd += 1 / n.cwnd
+	return t + n.BaseRTT
+}
+
+// VillagePort bundles the two ports of a village plus the MEM engines'
+// bulk-transfer rate (the L-MEM/R-MEM modules of Fig 10).
+type VillagePort struct {
+	Local  LNIC
+	Remote *RNIC
+	// BulkPsPerByte is the MEM engine's DMA rate for prefetch/write-back
+	// of data chunks.
+	BulkPsPerByte sim.Time
+	bulk          sim.Resource
+}
+
+// NewVillagePort builds a port pair with the default timings: L-NIC at the
+// on-package link rate with 200ns hardware processing; R-NIC at 25GB/s with
+// a 1μs external RTT and the given loss rate.
+func NewVillagePort(lossProb float64) *VillagePort {
+	return &VillagePort{
+		Local:         LNIC{PsPerByte: 600, ProcDelay: 200 * sim.Nanosecond},
+		Remote:        NewRNIC(40, 1*sim.Microsecond, lossProb),
+		BulkPsPerByte: 10,
+	}
+}
+
+// BulkTransfer schedules a MEM-engine DMA of size bytes and returns its
+// completion time.
+func (p *VillagePort) BulkTransfer(now sim.Time, sizeBytes int) sim.Time {
+	return p.bulk.Acquire(now, p.BulkPsPerByte*sim.Time(sizeBytes))
+}

@@ -1,0 +1,294 @@
+// Package rq implements μManycore's hardware Request Queue (paper §4.3): a
+// circular buffer of request entries with head/tail pointers, a Request
+// Context Memory holding per-request state (inputs, destination, and — with
+// the §4.4 hardware context-switch support — saved processor state), and the
+// atomic Dequeue / Complete / ContextSwitch instruction semantics. The NIC
+// overflow buffer and rejection path are modeled too.
+//
+// The queue is a pure data structure; instruction *timing* (the ~tens of
+// cycles a hardware dequeue costs vs thousands for software scheduling) is
+// charged by the machine model in internal/machine.
+package rq
+
+import "fmt"
+
+// Status of a request entry, per Fig 13.
+type Status int
+
+// Entry states.
+const (
+	Ready Status = iota // ready to run
+	Running
+	Blocked // waiting on an RPC/storage response
+	Finished
+)
+
+func (s Status) String() string {
+	switch s {
+	case Ready:
+		return "ready"
+	case Running:
+		return "running"
+	case Blocked:
+		return "blocked"
+	case Finished:
+		return "finished"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Context is a Request Context Memory entry: the request's input, where the
+// result goes, and the saved process state for hardware context switching
+// ("a few hundreds of bytes", §4.4).
+type Context struct {
+	// RequestID identifies the request across the machine.
+	RequestID uint64
+	// DestVillage / DestService say where the response is delivered.
+	DestVillage int
+	DestService int
+	// SavedStateBytes is the size of the saved processor state; zero until
+	// the first ContextSwitch.
+	SavedStateBytes int
+	// StateSaved reports whether processor state is currently saved here.
+	StateSaved bool
+	// Core is the core the request last ran on (-1 if never scheduled).
+	Core int
+	// UserData carries the machine model's per-request payload.
+	UserData any
+}
+
+// Entry is one RQ slot.
+type Entry struct {
+	Status    Status
+	ServiceID int
+	Ctx       *Context
+	// seq is the FCFS arrival order stamp.
+	seq uint64
+}
+
+// RQ is the per-village hardware request queue.
+type RQ struct {
+	capacity int
+	ring     []*Entry
+	head     int // index of oldest live entry
+	count    int // live entries (not yet reclaimed)
+	nextSeq  uint64
+
+	// Optional RQ_Map partitioning (§4.3 "more advanced design"): when set,
+	// each service has a private entry budget.
+	partition map[int]int
+	perSvc    map[int]int
+
+	// Statistics.
+	Enqueued  uint64
+	Rejected  uint64
+	Completed uint64
+}
+
+// New builds an RQ with the given capacity (the paper uses 64 entries per
+// village).
+func New(capacity int) *RQ {
+	if capacity <= 0 {
+		panic("rq: capacity must be positive")
+	}
+	return &RQ{
+		capacity: capacity,
+		ring:     make([]*Entry, capacity),
+		perSvc:   make(map[int]int),
+	}
+}
+
+// Capacity returns the configured size.
+func (q *RQ) Capacity() int { return q.capacity }
+
+// Len returns the number of live (unreclaimed) entries.
+func (q *RQ) Len() int { return q.count }
+
+// Free returns remaining slots.
+func (q *RQ) Free() int { return q.capacity - q.count }
+
+// SetPartition enables RQ_Map mode: serviceID -> max entries. Services not
+// listed share the remaining space. Pass nil to disable.
+func (q *RQ) SetPartition(p map[int]int) {
+	if p == nil {
+		q.partition = nil
+		return
+	}
+	cp := make(map[int]int, len(p))
+	total := 0
+	for k, v := range p {
+		cp[k] = v
+		total += v
+	}
+	if total > q.capacity {
+		panic(fmt.Sprintf("rq: partition total %d exceeds capacity %d", total, q.capacity))
+	}
+	q.partition = cp
+}
+
+// Enqueue appends a ready entry for serviceID with the given context,
+// returning the entry, or nil if the queue (or the service's partition) is
+// full — the caller then spills to the NIC buffer.
+func (q *RQ) Enqueue(serviceID int, ctx *Context) *Entry {
+	if q.count >= q.capacity {
+		q.Rejected++
+		return nil
+	}
+	if q.partition != nil {
+		if limit, ok := q.partition[serviceID]; ok && q.perSvc[serviceID] >= limit {
+			q.Rejected++
+			return nil
+		}
+	}
+	e := &Entry{Status: Ready, ServiceID: serviceID, Ctx: ctx, seq: q.nextSeq}
+	q.nextSeq++
+	pos := (q.head + q.count) % q.capacity
+	q.ring[pos] = e
+	q.count++
+	q.perSvc[serviceID]++
+	q.Enqueued++
+	return e
+}
+
+// at returns the i-th live entry from the head.
+func (q *RQ) at(i int) *Entry { return q.ring[(q.head+i)%q.capacity] }
+
+// HasReady reports whether a ready entry for serviceID exists (serviceID < 0
+// matches any service) — the per-core Work flag.
+func (q *RQ) HasReady(serviceID int) bool {
+	for i := 0; i < q.count; i++ {
+		e := q.at(i)
+		if e.Status == Ready && (serviceID < 0 || e.ServiceID == serviceID) {
+			return true
+		}
+	}
+	return false
+}
+
+// Dequeue implements the Dequeue instruction: atomically find the
+// highest-priority (closest to head) ready entry matching serviceID
+// (serviceID < 0 matches any), mark it running, and return it. Returns nil
+// when no entry qualifies. Restoring saved state is signalled by clearing
+// Ctx.StateSaved; the machine model charges the restore cost.
+func (q *RQ) Dequeue(serviceID int, core int) *Entry {
+	for i := 0; i < q.count; i++ {
+		e := q.at(i)
+		if e.Status == Ready && (serviceID < 0 || e.ServiceID == serviceID) {
+			e.Status = Running
+			if e.Ctx != nil {
+				e.Ctx.Core = core
+				e.Ctx.StateSaved = false
+			}
+			return e
+		}
+	}
+	return nil
+}
+
+// ContextSwitch implements the ContextSwitch instruction: the running entry
+// blocks on an RPC, its processor state is saved into the Request Context
+// Memory, and the core is freed.
+func (q *RQ) ContextSwitch(e *Entry, stateBytes int) {
+	if e.Status != Running {
+		panic(fmt.Sprintf("rq: ContextSwitch on %v entry", e.Status))
+	}
+	e.Status = Blocked
+	if e.Ctx != nil {
+		e.Ctx.StateSaved = true
+		e.Ctx.SavedStateBytes = stateBytes
+	}
+}
+
+// Unblock marks a blocked entry ready (the NIC received its RPC response and
+// deposited it in the context memory).
+func (q *RQ) Unblock(e *Entry) {
+	if e.Status != Blocked {
+		panic(fmt.Sprintf("rq: Unblock on %v entry", e.Status))
+	}
+	e.Status = Ready
+}
+
+// Complete implements the Complete instruction: mark the entry finished and,
+// if it is at the head, advance the head past finished entries, reclaiming
+// their slots.
+func (q *RQ) Complete(e *Entry) {
+	if e.Status != Running {
+		panic(fmt.Sprintf("rq: Complete on %v entry", e.Status))
+	}
+	e.Status = Finished
+	q.Completed++
+	q.perSvc[e.ServiceID]--
+	for q.count > 0 && q.at(0).Status == Finished {
+		q.ring[q.head] = nil
+		q.head = (q.head + 1) % q.capacity
+		q.count--
+	}
+}
+
+// ReadyCount returns the number of ready entries (for load reporting).
+func (q *RQ) ReadyCount() int {
+	n := 0
+	for i := 0; i < q.count; i++ {
+		if q.at(i).Status == Ready {
+			n++
+		}
+	}
+	return n
+}
+
+// NICBuffer is the village NIC's overflow staging area: requests that find
+// the RQ full wait here; beyond its capacity they are rejected (§4.3).
+type NICBuffer struct {
+	capacity int
+	fifo     []pendingReq
+	// Rejected counts drops.
+	Rejected uint64
+}
+
+type pendingReq struct {
+	serviceID int
+	ctx       *Context
+}
+
+// NewNICBuffer builds a buffer; the paper does not size it, we default to
+// 4× the RQ in the machine model.
+func NewNICBuffer(capacity int) *NICBuffer {
+	if capacity < 0 {
+		panic("rq: negative NIC buffer capacity")
+	}
+	return &NICBuffer{capacity: capacity}
+}
+
+// Len returns the queued count.
+func (b *NICBuffer) Len() int { return len(b.fifo) }
+
+// Offer tries to stage a request, returning false (and counting a
+// rejection) when full.
+func (b *NICBuffer) Offer(serviceID int, ctx *Context) bool {
+	if len(b.fifo) >= b.capacity {
+		b.Rejected++
+		return false
+	}
+	b.fifo = append(b.fifo, pendingReq{serviceID, ctx})
+	return true
+}
+
+// Drain moves as many staged requests as fit into the RQ, in FIFO order,
+// returning the entries created.
+func (b *NICBuffer) Drain(q *RQ) []*Entry {
+	var moved []*Entry
+	for len(b.fifo) > 0 {
+		p := b.fifo[0]
+		e := q.Enqueue(p.serviceID, p.ctx)
+		if e == nil {
+			// Enqueue counted a rejection, but the request is merely still
+			// staged; undo the stat.
+			q.Rejected--
+			break
+		}
+		moved = append(moved, e)
+		b.fifo = b.fifo[1:]
+	}
+	return moved
+}

@@ -1,0 +1,205 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// that underpins every architectural model in this repository.
+//
+// The kernel is intentionally small: a virtual clock, a binary heap of
+// timestamped events, and named pseudo-random streams. Determinism is a hard
+// requirement — two runs with the same seed must produce bit-identical
+// results — so ties between events at the same timestamp are broken by a
+// monotonically increasing sequence number, and all randomness is drawn from
+// streams derived from the engine seed plus a stream name.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+)
+
+// Time is the simulation clock in picoseconds. int64 picoseconds cover about
+// 106 days of simulated time, far beyond any experiment in this repository.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Micros reports t in microseconds as a float, the unit the paper uses for
+// most latency plots.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis reports t in milliseconds as a float.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds reports t in seconds as a float.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// FromMicros converts a duration in microseconds to a Time.
+func FromMicros(us float64) Time { return Time(us * float64(Microsecond)) }
+
+// FromSeconds converts a duration in seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", t.Micros())
+	case t >= Nanosecond:
+		return fmt.Sprintf("%.3fns", float64(t)/float64(Nanosecond))
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// Event is a callback scheduled to run at a point in virtual time.
+type Event func()
+
+type scheduled struct {
+	at    Time
+	seq   uint64
+	fn    Event
+	index int // heap index; -1 once popped or cancelled
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct{ s *scheduled }
+
+// Cancelled reports whether the event was cancelled or already fired.
+func (h Handle) live() bool { return h.s != nil && h.s.index >= 0 }
+
+type eventHeap []*scheduled
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	s := x.(*scheduled)
+	s.index = len(*h)
+	*h = append(*h, s)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	s.index = -1
+	*h = old[:n-1]
+	return s
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not usable;
+// create engines with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	seed    int64
+	streams map[string]*rand.Rand
+	fired   uint64
+	stopped bool
+}
+
+// NewEngine returns an engine whose random streams all derive from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{seed: seed, streams: make(map[string]*rand.Rand)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far (useful for perf
+// reporting and as a runaway-simulation guard in tests).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still scheduled.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it is always a model bug.
+func (e *Engine) At(t Time, fn Event) Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	s := &scheduled{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, s)
+	return Handle{s}
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn Event) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an event that already fired
+// (or was already cancelled) is a no-op and returns false.
+func (e *Engine) Cancel(h Handle) bool {
+	if !h.live() {
+		return false
+	}
+	heap.Remove(&e.events, h.s.index)
+	return true
+}
+
+// Stop makes Run / RunUntil return after the currently executing event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.RunUntil(Time(1<<63 - 1))
+}
+
+// RunUntil executes events with timestamps <= deadline, then sets the clock
+// to deadline (if it advanced that far). Events scheduled beyond deadline
+// remain pending.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		e.fired++
+		next.fn()
+	}
+	if !e.stopped && e.now < deadline && deadline < Time(1<<62) {
+		e.now = deadline
+	}
+}
+
+// Rand returns the named random stream, creating it deterministically from
+// the engine seed on first use. Distinct names yield independent streams;
+// the same name always yields the same stream.
+func (e *Engine) Rand(name string) *rand.Rand {
+	if r, ok := e.streams[name]; ok {
+		return r
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	r := rand.New(rand.NewSource(e.seed ^ int64(h.Sum64())))
+	e.streams[name] = r
+	return r
+}

@@ -1,0 +1,327 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if Microsecond != 1_000_000 {
+		t.Fatalf("Microsecond = %d, want 1e6 ps", int64(Microsecond))
+	}
+	if got := FromMicros(2.5); got != 2_500_000 {
+		t.Fatalf("FromMicros(2.5) = %d", int64(got))
+	}
+	if got := Time(1_500_000).Micros(); got != 1.5 {
+		t.Fatalf("Micros = %v", got)
+	}
+	if got := FromSeconds(0.001); got != Millisecond {
+		t.Fatalf("FromSeconds(0.001) = %v", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ps"},
+		{2 * Nanosecond, "2.000ns"},
+		{3 * Microsecond, "3.000us"},
+		{4 * Millisecond, "4.000ms"},
+		{5 * Second, "5.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineTieBreakFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineAfterAndNesting(t *testing.T) {
+	e := NewEngine(1)
+	var hits []Time
+	e.After(5, func() {
+		hits = append(hits, e.Now())
+		e.After(7, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 5 || hits[1] != 12 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	h := e.At(10, func() { ran = true })
+	if !e.Cancel(h) {
+		t.Fatal("first Cancel returned false")
+	}
+	if e.Cancel(h) {
+		t.Fatal("second Cancel returned true")
+	}
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestEngineCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	handles := make([]Handle, 5)
+	for i := 0; i < 5; i++ {
+		i := i
+		handles[i] = e.At(Time(10*(i+1)), func() { order = append(order, i) })
+	}
+	e.Cancel(handles[2])
+	e.Run()
+	want := []int{0, 1, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i*10), func() { count++ })
+	}
+	e.RunUntil(50)
+	if count != 5 {
+		t.Fatalf("count = %d after RunUntil(50)", count)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("Now = %v", e.Now())
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+	e.Run()
+	if count != 10 {
+		t.Fatalf("count = %d after Run", count)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 (Stop ignored?)", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestRandStreamsDeterministic(t *testing.T) {
+	a := NewEngine(42)
+	b := NewEngine(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand("x").Int63() != b.Rand("x").Int63() {
+			t.Fatal("same seed + name produced different streams")
+		}
+	}
+	c := NewEngine(42)
+	same := true
+	for i := 0; i < 10; i++ {
+		if c.Rand("x").Int63() != c.Rand("y").Int63() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different stream names produced identical values")
+	}
+}
+
+func TestEngineDeterministicRun(t *testing.T) {
+	run := func(seed int64) []Time {
+		e := NewEngine(seed)
+		var stamps []Time
+		var rec func()
+		n := 0
+		rec = func() {
+			stamps = append(stamps, e.Now())
+			n++
+			if n < 50 {
+				e.After(Time(e.Rand("gap").Intn(100)+1), rec)
+			}
+		}
+		e.At(0, rec)
+		e.Run()
+		return stamps
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run not deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestResourceAcquire(t *testing.T) {
+	var r Resource
+	// Idle resource: starts immediately.
+	if done := r.Acquire(100, 10); done != 110 {
+		t.Fatalf("done = %d, want 110", done)
+	}
+	// Busy resource: queues.
+	if done := r.Acquire(105, 10); done != 120 {
+		t.Fatalf("done = %d, want 120", done)
+	}
+	// Arrival after idle gap: starts at arrival.
+	if done := r.Acquire(500, 5); done != 505 {
+		t.Fatalf("done = %d, want 505", done)
+	}
+	if r.TotalBusy != 25 {
+		t.Fatalf("TotalBusy = %d", r.TotalBusy)
+	}
+	if r.Acquisitions != 3 {
+		t.Fatalf("Acquisitions = %d", r.Acquisitions)
+	}
+}
+
+func TestResourceQueueDelay(t *testing.T) {
+	var r Resource
+	r.Acquire(0, 100)
+	if d := r.QueueDelay(40); d != 60 {
+		t.Fatalf("QueueDelay = %d", d)
+	}
+	if d := r.QueueDelay(200); d != 0 {
+		t.Fatalf("QueueDelay after idle = %d", d)
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	var r Resource
+	r.Acquire(0, 25)
+	r.Acquire(50, 25)
+	if u := r.Utilization(100); u != 0.5 {
+		t.Fatalf("Utilization = %v", u)
+	}
+	if u := r.Utilization(0); u != 0 {
+		t.Fatalf("Utilization(0) = %v", u)
+	}
+	r.Reset()
+	if r.TotalBusy != 0 || r.BusyUntil() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+// Property: a resource never starts a job before the previous one finished,
+// and never before its arrival.
+func TestResourceFIFOProperty(t *testing.T) {
+	f := func(arrivalGaps []uint8, durs []uint8) bool {
+		var r Resource
+		now := Time(0)
+		prevDone := Time(0)
+		n := len(arrivalGaps)
+		if len(durs) < n {
+			n = len(durs)
+		}
+		for i := 0; i < n; i++ {
+			now += Time(arrivalGaps[i])
+			d := Time(durs[i]%50 + 1)
+			done := r.Acquire(now, d)
+			start := done - d
+			if start < now || start < prevDone {
+				return false
+			}
+			prevDone = done
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: engine executes all events in nondecreasing time order.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := NewEngine(3)
+		var fired []Time
+		for _, tt := range times {
+			e.At(Time(tt), func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(times)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,269 @@
+// Package stats provides the measurement pipeline shared by every experiment:
+// latency recorders with exact percentiles, CDFs, histograms, and summary
+// helpers matching the metrics the paper reports (average, P99 tail,
+// tail-to-average ratio, QoS-safe throughput).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates float64 observations and answers exact order statistics.
+// It keeps all observations; experiment sizes in this repository (≤ a few
+// million samples) make that the simplest correct choice.
+type Sample struct {
+	xs     []float64
+	sorted bool
+	sum    float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+	s.sum += x
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Sum returns the sum of observations.
+func (s *Sample) Sum() float64 { return s.sum }
+
+// Mean returns the average, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.xs))
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using the nearest-rank
+// method, or 0 for an empty sample. Quantile(0.99) is the paper's P99.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	s.sort()
+	rank := int(math.Ceil(q*float64(len(s.xs)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s.xs[rank]
+}
+
+// Min returns the smallest observation, or 0 if empty.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.xs[0]
+}
+
+// Max returns the largest observation, or 0 if empty.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.xs[len(s.xs)-1]
+}
+
+// P99 is shorthand for Quantile(0.99), the paper's tail-latency metric.
+func (s *Sample) P99() float64 { return s.Quantile(0.99) }
+
+// Median is shorthand for Quantile(0.5).
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// StdDev returns the population standard deviation.
+func (s *Sample) StdDev() float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// TailToAvg returns P99/mean — the predictability metric of paper §6.4.
+func (s *Sample) TailToAvg() float64 {
+	m := s.Mean()
+	if m == 0 {
+		return 0
+	}
+	return s.P99() / m
+}
+
+// FracAtLeast returns the fraction of observations >= x.
+func (s *Sample) FracAtLeast(x float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	i := sort.SearchFloat64s(s.xs, x)
+	return float64(len(s.xs)-i) / float64(len(s.xs))
+}
+
+// CDFAt returns the empirical CDF evaluated at x: P(X <= x).
+func (s *Sample) CDFAt(x float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	// Index of first element > x.
+	i := sort.Search(len(s.xs), func(j int) bool { return s.xs[j] > x })
+	return float64(i) / float64(len(s.xs))
+}
+
+// CDFPoint is one (x, P(X<=x)) pair of an empirical CDF.
+type CDFPoint struct {
+	X float64
+	P float64
+}
+
+// CDF returns the empirical CDF evaluated at n evenly spaced points across
+// [min, max], suitable for plotting (the paper's Figs 2, 4, 5).
+func (s *Sample) CDF(n int) []CDFPoint {
+	if len(s.xs) == 0 || n <= 0 {
+		return nil
+	}
+	s.sort()
+	lo, hi := s.xs[0], s.xs[len(s.xs)-1]
+	pts := make([]CDFPoint, 0, n)
+	for i := 0; i < n; i++ {
+		x := lo
+		if n > 1 {
+			x = lo + (hi-lo)*float64(i)/float64(n-1)
+		}
+		pts = append(pts, CDFPoint{X: x, P: s.CDFAt(x)})
+	}
+	return pts
+}
+
+// Summary is a compact result record used across experiment tables.
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	P99    float64
+	Max    float64
+}
+
+// Summarize extracts a Summary from the sample.
+func (s *Sample) Summarize() Summary {
+	return Summary{N: s.N(), Mean: s.Mean(), Median: s.Median(), P99: s.P99(), Max: s.Max()}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f p50=%.2f p99=%.2f max=%.2f", s.N, s.Mean, s.Median, s.P99, s.Max)
+}
+
+// Values exposes the raw observations (sorted if a quantile was taken);
+// callers must not mutate the returned slice. It exists so samples from
+// independent simulations (e.g. fleet servers) can be merged exactly.
+func (s *Sample) Values() []float64 { return s.xs }
+
+// Reset clears the sample for reuse.
+func (s *Sample) Reset() {
+	s.xs = s.xs[:0]
+	s.sorted = false
+	s.sum = 0
+}
+
+// Histogram is a fixed-width bucket histogram over [Lo, Hi); observations
+// outside the range land in the first/last bucket.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []uint64
+	total   uint64
+}
+
+// NewHistogram creates a histogram with n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]uint64, n)}
+}
+
+// Add records an observation.
+func (h *Histogram) Add(x float64) {
+	n := len(h.Buckets)
+	i := int(float64(n) * (x - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	h.Buckets[i]++
+	h.total++
+}
+
+// Total returns the observation count.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// BucketCenter returns the midpoint of bucket i.
+func (h *Histogram) BucketCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Ratio divides a by b, returning 0 when b is 0. It is the helper used to
+// compute all the paper's "X× lower/higher" numbers.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// GeoMean returns the geometric mean of positive values (the paper's
+// cross-application averages); non-positive values are skipped.
+func GeoMean(xs []float64) float64 {
+	var sum float64
+	var n int
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 when empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,290 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.P99() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+	for _, x := range []float64{5, 1, 3, 2, 4} {
+		s.Add(x)
+	}
+	if s.N() != 5 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Median() != 3 {
+		t.Fatalf("Median = %v", s.Median())
+	}
+	if s.Sum() != 15 {
+		t.Fatalf("Sum = %v", s.Sum())
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Quantile(0.99); got != 99 {
+		t.Fatalf("P99 of 1..100 = %v", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Fatalf("P100 = %v", got)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := s.Quantile(-0.5); got != 1 {
+		t.Fatalf("clamped low quantile = %v", got)
+	}
+	if got := s.Quantile(1.5); got != 100 {
+		t.Fatalf("clamped high quantile = %v", got)
+	}
+}
+
+func TestAddAfterQuantile(t *testing.T) {
+	var s Sample
+	s.Add(10)
+	_ = s.Median()
+	s.Add(1) // must re-sort
+	if s.Min() != 1 {
+		t.Fatal("sample did not re-sort after Add")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if !approx(s.StdDev(), 2, 1e-12) {
+		t.Fatalf("StdDev = %v, want 2", s.StdDev())
+	}
+}
+
+func TestTailToAvg(t *testing.T) {
+	var s Sample
+	for i := 0; i < 99; i++ {
+		s.Add(1)
+	}
+	s.Add(101) // mean 2, p99 = 101 (nearest rank over 100 samples -> idx 98)
+	ta := s.TailToAvg()
+	if ta <= 0 {
+		t.Fatalf("TailToAvg = %v", ta)
+	}
+	var e Sample
+	if e.TailToAvg() != 0 {
+		t.Fatal("empty TailToAvg should be 0")
+	}
+}
+
+func TestFracAtLeastAndCDFAt(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 10; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.FracAtLeast(8); got != 0.3 {
+		t.Fatalf("FracAtLeast(8) = %v", got)
+	}
+	if got := s.FracAtLeast(11); got != 0 {
+		t.Fatalf("FracAtLeast(11) = %v", got)
+	}
+	if got := s.CDFAt(5); got != 0.5 {
+		t.Fatalf("CDFAt(5) = %v", got)
+	}
+	if got := s.CDFAt(0); got != 0 {
+		t.Fatalf("CDFAt(0) = %v", got)
+	}
+	if got := s.CDFAt(100); got != 1 {
+		t.Fatalf("CDFAt(100) = %v", got)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	var s Sample
+	for i := 0; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	pts := s.CDF(11)
+	if len(pts) != 11 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[0].X != 0 || pts[10].X != 100 {
+		t.Fatalf("range = [%v, %v]", pts[0].X, pts[10].X)
+	}
+	if pts[10].P != 1 {
+		t.Fatalf("final P = %v", pts[10].P)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].P < pts[i-1].P {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	if s.CDF(0) != nil {
+		t.Fatal("CDF(0) should be nil")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 4; i++ {
+		s.Add(float64(i))
+	}
+	sum := s.Summarize()
+	if sum.N != 4 || sum.Mean != 2.5 || sum.Max != 4 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Reset()
+	if s.N() != 0 || s.Sum() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(0.5)
+	h.Add(9.5)
+	h.Add(-5)  // clamps to bucket 0
+	h.Add(100) // clamps to last bucket
+	if h.Total() != 4 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Buckets[0] != 2 {
+		t.Fatalf("bucket0 = %d", h.Buckets[0])
+	}
+	if h.Buckets[9] != 2 {
+		t.Fatalf("bucket9 = %d", h.Buckets[9])
+	}
+	if got := h.BucketCenter(0); got != 0.5 {
+		t.Fatalf("BucketCenter(0) = %v", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid histogram did not panic")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(10, 2) != 5 {
+		t.Fatal("Ratio(10,2)")
+	}
+	if Ratio(10, 0) != 0 {
+		t.Fatal("Ratio(10,0)")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); !approx(got, 10, 1e-9) {
+		t.Fatalf("GeoMean = %v", got)
+	}
+	if got := GeoMean([]float64{-1, 0}); got != 0 {
+		t.Fatalf("GeoMean of nonpositive = %v", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Fatalf("GeoMean(nil) = %v", got)
+	}
+}
+
+func TestMeanHelper(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil)")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean([1,2,3])")
+	}
+}
+
+// Property: Quantile matches direct computation on the sorted slice.
+func TestQuantileProperty(t *testing.T) {
+	f := func(raw []float64, qi uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		q := float64(qi%101) / 100
+		var s Sample
+		for _, x := range xs {
+			s.Add(x)
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		return s.Quantile(q) == sorted[rank]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CDFAt is a nondecreasing function bounded by [0,1].
+func TestCDFMonotoneProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var s Sample
+	for i := 0; i < 1000; i++ {
+		s.Add(r.NormFloat64() * 10)
+	}
+	prev := -1.0
+	for x := -40.0; x <= 40; x += 0.5 {
+		p := s.CDFAt(x)
+		if p < prev || p < 0 || p > 1 {
+			t.Fatalf("CDF violated at %v: %v (prev %v)", x, p, prev)
+		}
+		prev = p
+	}
+}
+
+// Property: mean lies within [min, max].
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var s Sample
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				continue
+			}
+			s.Add(x)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		return s.Mean() >= s.Min()-1e-6 && s.Mean() <= s.Max()+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

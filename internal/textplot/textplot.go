@@ -1,0 +1,144 @@
+// Package textplot renders small ASCII charts — bar charts, CDF curves and
+// log-scale series — so cmd/umbench can show the *shape* of each
+// reproduced figure directly in a terminal, next to the numeric tables.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one labeled value of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders a horizontal bar chart, scaled to width characters.
+func BarChart(title string, bars []Bar, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	var max float64
+	labelW := 0
+	for _, b := range bars {
+		if b.Value > max {
+			max = b.Value
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	for _, b := range bars {
+		n := 0
+		if max > 0 {
+			n = int(b.Value / max * float64(width))
+		}
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&sb, "%-*s |%s %.3g\n", labelW, b.Label, strings.Repeat("#", n), b.Value)
+	}
+	return sb.String()
+}
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X, Y float64
+}
+
+// Line renders a y-vs-x series as a fixed-size character grid. Points are
+// linearly interpolated onto columns; the y axis can be logarithmic (useful
+// for tail-latency blowups).
+func Line(title string, pts []Point, cols, rows int, logY bool) string {
+	if len(pts) == 0 {
+		return title + "\n(no data)\n"
+	}
+	if cols <= 0 {
+		cols = 60
+	}
+	if rows <= 0 {
+		rows = 12
+	}
+	xmin, xmax := pts[0].X, pts[0].X
+	ymin, ymax := pts[0].Y, pts[0].Y
+	for _, p := range pts {
+		xmin = math.Min(xmin, p.X)
+		xmax = math.Max(xmax, p.X)
+		ymin = math.Min(ymin, p.Y)
+		ymax = math.Max(ymax, p.Y)
+	}
+	ty := func(y float64) float64 {
+		if !logY {
+			return y
+		}
+		if y <= 0 {
+			y = 1e-12
+		}
+		return math.Log10(y)
+	}
+	tymin, tymax := ty(ymin), ty(ymax)
+	if tymax == tymin {
+		tymax = tymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	for _, p := range pts {
+		c := int((p.X - xmin) / (xmax - xmin) * float64(cols-1))
+		r := int((ty(p.Y) - tymin) / (tymax - tymin) * float64(rows-1))
+		row := rows - 1 - r
+		grid[row][c] = '*'
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	yLabelTop := ymax
+	yLabelBot := ymin
+	fmt.Fprintf(&sb, "%10.3g +%s\n", yLabelTop, string(grid[0]))
+	for r := 1; r < rows-1; r++ {
+		fmt.Fprintf(&sb, "%10s |%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&sb, "%10.3g +%s\n", yLabelBot, string(grid[rows-1]))
+	fmt.Fprintf(&sb, "%10s  %-*.4g%*.4g\n", "", cols/2, xmin, cols-cols/2, xmax)
+	return sb.String()
+}
+
+// CDF renders an empirical CDF (y in [0,1]) with a linear y axis.
+func CDF(title string, pts []Point, cols, rows int) string {
+	return Line(title, pts, cols, rows, false)
+}
+
+// Sparkline compresses a series into a single line of block characters.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	min, max := values[0], values[0]
+	for _, v := range values {
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	if max == min {
+		max = min + 1
+	}
+	var sb strings.Builder
+	for _, v := range values {
+		i := int((v - min) / (max - min) * float64(len(blocks)-1))
+		sb.WriteRune(blocks[i])
+	}
+	return sb.String()
+}

@@ -1,0 +1,127 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("title", []Bar{
+		{Label: "a", Value: 10},
+		{Label: "bb", Value: 5},
+		{Label: "ccc", Value: 0},
+	}, 20)
+	if !strings.HasPrefix(out, "title\n") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// The max value fills the width; half value fills about half.
+	aHashes := strings.Count(lines[1], "#")
+	bHashes := strings.Count(lines[2], "#")
+	cHashes := strings.Count(lines[3], "#")
+	if aHashes != 20 {
+		t.Fatalf("max bar = %d hashes", aHashes)
+	}
+	if bHashes < 8 || bHashes > 12 {
+		t.Fatalf("half bar = %d hashes", bHashes)
+	}
+	if cHashes != 0 {
+		t.Fatalf("zero bar = %d hashes", cHashes)
+	}
+}
+
+func TestBarChartEmptyAndDefaults(t *testing.T) {
+	out := BarChart("", nil, 0)
+	if out != "" {
+		t.Fatalf("empty chart = %q", out)
+	}
+	out = BarChart("", []Bar{{Label: "x", Value: 1}}, 0)
+	if !strings.Contains(out, "#") {
+		t.Fatal("default width missing bars")
+	}
+}
+
+func TestLinePlacesExtremes(t *testing.T) {
+	pts := []Point{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 4}}
+	out := Line("quad", pts, 30, 8, false)
+	if !strings.Contains(out, "quad") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(out, "\n")
+	// First grid row holds the max point, last grid row the min.
+	if !strings.Contains(lines[1], "*") {
+		t.Fatal("max row empty")
+	}
+	if !strings.Contains(lines[8], "*") {
+		t.Fatal("min row empty")
+	}
+	if strings.Count(out, "*") != 3 {
+		t.Fatalf("points plotted = %d", strings.Count(out, "*"))
+	}
+}
+
+func TestLineLogScale(t *testing.T) {
+	pts := []Point{{X: 0, Y: 1}, {X: 1, Y: 10}, {X: 2, Y: 100}, {X: 3, Y: 1000}}
+	out := Line("log", pts, 40, 10, true)
+	// In log scale the points form a straight diagonal: each row between
+	// top and bottom has at most one point, no clustering at the bottom.
+	rows := strings.Split(out, "\n")
+	starCols := []int{}
+	for _, r := range rows {
+		if i := strings.IndexByte(r, '*'); i >= 0 {
+			starCols = append(starCols, i)
+		}
+	}
+	if len(starCols) != 4 {
+		t.Fatalf("log plot rows with points = %d", len(starCols))
+	}
+	for i := 1; i < len(starCols); i++ {
+		if starCols[i] >= starCols[i-1] {
+			t.Fatal("log diagonal not monotone")
+		}
+	}
+}
+
+func TestLineDegenerate(t *testing.T) {
+	if out := Line("t", nil, 10, 5, false); !strings.Contains(out, "no data") {
+		t.Fatalf("empty series = %q", out)
+	}
+	// Single point / flat series must not divide by zero.
+	out := Line("flat", []Point{{X: 1, Y: 2}, {X: 1, Y: 2}}, 10, 5, false)
+	if !strings.Contains(out, "*") {
+		t.Fatal("flat series lost its point")
+	}
+	// Zero and negative y under log scale are clamped, not NaN.
+	out = Line("neg", []Point{{X: 0, Y: 0}, {X: 1, Y: 10}}, 10, 5, true)
+	if strings.Contains(out, "NaN") {
+		t.Fatal("log scale produced NaN")
+	}
+}
+
+func TestCDFWrapper(t *testing.T) {
+	out := CDF("cdf", []Point{{X: 0, Y: 0}, {X: 1, Y: 0.5}, {X: 2, Y: 1}}, 20, 6)
+	if !strings.Contains(out, "cdf") || strings.Count(out, "*") != 3 {
+		t.Fatalf("cdf plot: %q", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Fatal("empty sparkline")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if len([]rune(s)) != 8 {
+		t.Fatalf("sparkline runes = %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Fatalf("sparkline extremes = %q", s)
+	}
+	flat := Sparkline([]float64{3, 3, 3})
+	if len([]rune(flat)) != 3 {
+		t.Fatal("flat sparkline length")
+	}
+}

@@ -1,0 +1,230 @@
+package uarch
+
+import (
+	"math/rand"
+
+	"umanycore/internal/cachesim"
+)
+
+// Trace generators for the two workload classes of Fig 1.
+//
+// Monolithic programs (MySQL, Cassandra, Kafka, Clang, WordPress in the
+// paper) have multi-MB data and instruction footprints, long strided scans,
+// and branches correlated with history beyond a short predictor's reach.
+// Microservice handlers have sub-MB footprints, high cache residency, and
+// short, heavily biased control flow (§3.5). The generators below encode
+// exactly those properties while keeping overall event rates realistic
+// (L1 hit rates in the 70–95% range for monoliths, >95% for handlers).
+
+// TraceClass selects the workload class to synthesize.
+type TraceClass int
+
+// Workload classes.
+const (
+	Monolithic TraceClass = iota
+	Microservice
+)
+
+func (c TraceClass) String() string {
+	if c == Monolithic {
+		return "monolithic"
+	}
+	return "microservice"
+}
+
+// GenBranchTrace synthesizes n dynamic branches of the given class.
+//
+// Monolithic blocks consist of 12 mildly-biased "filler" branches followed
+// by a branch whose outcome equals the block's first outcome — a correlation
+// at history distance 12, visible to a 32-bit-history perceptron but beyond
+// an 8-bit gshare. Loops and unbiased data-dependent branches round out the
+// mix. Microservice handlers are short bursts of heavily biased branches
+// with history cleared between requests.
+func GenBranchTrace(class TraceClass, n int, r *rand.Rand) []BranchEvent {
+	trace := make([]BranchEvent, 0, n)
+	switch class {
+	case Monolithic:
+		for len(trace) < n {
+			p := r.Float64()
+			switch {
+			case p < 0.35: // correlation block: 12 random heads, 12 correlated tails
+				heads := make([]bool, 12)
+				for j := range heads {
+					heads[j] = r.Float64() < 0.5
+					if len(trace) < n {
+						trace = append(trace, BranchEvent{PC: uint64(0x1000 + j*4), Taken: heads[j]})
+					}
+				}
+				// Tail j's outcome equals the branch 12 back (head j): a
+				// single-bit history correlation at distance 12.
+				for j := 0; j < 12 && len(trace) < n; j++ {
+					trace = append(trace, BranchEvent{PC: uint64(0x2000 + j*4), Taken: heads[j]})
+				}
+			case p < 0.80: // loop: 15 taken then 1 not-taken
+				pc := uint64(0x9000 + uint64(r.Intn(16))*4)
+				for j := 0; j < 15 && len(trace) < n; j++ {
+					trace = append(trace, BranchEvent{PC: pc, Taken: true})
+				}
+				if len(trace) < n {
+					trace = append(trace, BranchEvent{PC: pc, Taken: false})
+				}
+			default: // 90%-biased data-dependent branches
+				pc := uint64(0x5000 + uint64(r.Intn(256))*4)
+				trace = append(trace, BranchEvent{PC: pc, Taken: r.Float64() < 0.9})
+			}
+		}
+	case Microservice:
+		for len(trace) < n {
+			for j := 0; j < 40 && len(trace) < n; j++ {
+				pc := uint64(0x2000 + uint64(r.Intn(12))*4)
+				trace = append(trace, BranchEvent{PC: pc, Taken: r.Float64() < 0.95})
+			}
+		}
+	}
+	return trace[:n]
+}
+
+// GenDataTrace synthesizes n dynamic memory accesses.
+//
+// Monolithic: 70% to a hot 32KB region (L1-resident), 25% strided scans at
+// 8-byte granularity over large fresh regions (prefetchable, L1-missing),
+// 5% pointer chasing over 64MB (unprefetchable). Microservice: 90% to a hot
+// 16KB region and 10% over the 0.5MB handler footprint of paper §3.5 — all
+// L2-resident, with nothing for a prefetcher to learn.
+func GenDataTrace(class TraceClass, n int, r *rand.Rand) []MemAccess {
+	trace := make([]MemAccess, 0, n)
+	switch class {
+	case Monolithic:
+		const streams = 4
+		pos := make([]cachesim.Addr, streams)
+		for i := range pos {
+			// Stream regions far from the hot region and each other.
+			pos[i] = cachesim.Addr(1<<26) + cachesim.Addr(i)*(256<<20)
+		}
+		for len(trace) < n {
+			p := r.Float64()
+			switch {
+			case p < 0.82:
+				trace = append(trace, MemAccess{PC: uint64(0x200 + r.Intn(16)*4), Addr: cachesim.Addr(r.Intn(32 << 10))})
+			case p < 0.98:
+				s := r.Intn(streams)
+				trace = append(trace, MemAccess{PC: uint64(0x100 + s*4), Addr: pos[s]})
+				pos[s] += 8 // 8-byte stride: one miss per 8 accesses
+			default:
+				trace = append(trace, MemAccess{PC: 0x777, Addr: cachesim.Addr(1<<30) + cachesim.Addr(r.Intn(64<<20))})
+			}
+		}
+	case Microservice:
+		const hot = 16 << 10
+		const warm = 512 << 10
+		for len(trace) < n {
+			var a cachesim.Addr
+			if r.Float64() < 0.95 {
+				a = cachesim.Addr(r.Intn(hot))
+			} else {
+				a = cachesim.Addr(hot + r.Intn(warm-hot))
+			}
+			trace = append(trace, MemAccess{PC: uint64(0x300 + r.Intn(8)*4), Addr: a})
+		}
+	}
+	return trace[:n]
+}
+
+// GenHandlerPhases synthesizes a microservice handler's data accesses with
+// explicit phase structure: 95% to the hot request state, most of the rest
+// to a slowly advancing 32KB window of the 0.5MB handler footprint (the
+// phase the handler is currently executing), and a residue of cold touches.
+// It is the trace internal/memmodel uses to size per-core memory time —
+// temporal reuse is what matters there, whereas Fig 1's prefetcher study
+// uses GenDataTrace's pattern-free variant.
+func GenHandlerPhases(n int, r *rand.Rand) []MemAccess {
+	const hot = 16 << 10
+	const warm = 512 << 10
+	const window = 32 << 10
+	trace := make([]MemAccess, 0, n)
+	winBase := hot
+	for i := 0; len(trace) < n; i++ {
+		if i%4000 == 3999 {
+			winBase += 4 << 10
+			if winBase+window > warm {
+				winBase = hot
+			}
+		}
+		var a cachesim.Addr
+		p := r.Float64()
+		switch {
+		case p < 0.95:
+			a = cachesim.Addr(r.Intn(hot))
+		case p < 0.995:
+			a = cachesim.Addr(winBase + r.Intn(window))
+		default:
+			a = cachesim.Addr(hot + r.Intn(warm-hot))
+		}
+		trace = append(trace, MemAccess{PC: uint64(0x300 + r.Intn(8)*4), Addr: a})
+	}
+	return trace[:n]
+}
+
+// GenInstrTrace synthesizes n instruction-fetch line addresses (one entry
+// per 64B fetch line).
+//
+// Monolithic: 70% of fetches walk 12 hot functions (24KB, L1I-resident);
+// 30% walk a fixed repeating sequence of 96 cold functions (192KB — far
+// over a 64KB L1I, so it thrashes under LRU, but the recurrence makes it
+// learnable by a context-driven prefetcher). Microservice: 24 functions,
+// 48KB, fully L1I-resident.
+func GenInstrTrace(class TraceClass, n int, r *rand.Rand) []cachesim.Addr {
+	const funcLines = 32 // 32 lines × 64B = 2KB per function
+	trace := make([]cachesim.Addr, 0, n)
+	emitFunc := func(funcID int, base cachesim.Addr) {
+		start := base + cachesim.Addr(funcID)*funcLines*64
+		for l := 0; l < funcLines && len(trace) < n; l++ {
+			trace = append(trace, start+cachesim.Addr(l*64))
+		}
+	}
+	switch class {
+	case Monolithic:
+		seq := make([]int, 96)
+		for i := range seq {
+			seq[i] = i
+		}
+		r.Shuffle(len(seq), func(i, j int) { seq[i], seq[j] = seq[j], seq[i] })
+		si := 0
+		for len(trace) < n {
+			if r.Float64() < 0.82 {
+				emitFunc(r.Intn(12), 0) // hot region at address 0
+			} else {
+				emitFunc(seq[si%len(seq)], 1<<24) // cold sequence region
+				si++
+			}
+		}
+	case Microservice:
+		for len(trace) < n {
+			emitFunc(r.Intn(24), 0)
+		}
+	}
+	return trace[:n]
+}
+
+// GenInstrTraceWithTransients is a monolithic-style instruction trace whose
+// hot working set (56KB) almost fills the 64KB L1I, plus single-use cold
+// lines (logging/error paths) that pollute it — the pattern Ripple-style
+// profile-guided replacement removes.
+func GenInstrTraceWithTransients(n int, r *rand.Rand) []cachesim.Addr {
+	const funcLines = 32
+	const hotFuncs = 28 // 28 × 2KB = 56KB hot code
+	trace := make([]cachesim.Addr, 0, n)
+	cold := cachesim.Addr(1 << 30)
+	for len(trace) < n {
+		f := r.Intn(hotFuncs)
+		start := cachesim.Addr(f) * funcLines * 64
+		for l := 0; l < funcLines && len(trace) < n; l++ {
+			trace = append(trace, start+cachesim.Addr(l*64))
+			if r.Intn(12) == 0 && len(trace) < n {
+				trace = append(trace, cold)
+				cold += 64
+			}
+		}
+	}
+	return trace[:n]
+}

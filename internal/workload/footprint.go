@@ -1,0 +1,173 @@
+package workload
+
+import "math/rand"
+
+// Footprint sharing model behind Fig 8: handlers of the same service
+// instance share most of their data and almost all of their instructions
+// with each other and with the instance's initialization process (78–99%
+// of pages/lines common, per §3.5).
+//
+// The model materializes page/line sets: a service has shared data pages,
+// shared instruction pages, and an init footprint; each handler touches all
+// shared pages plus a small private residue, and within shared data pages
+// touches a random subset of lines (so line-granularity sharing is lower
+// than page-granularity for data, as in the figure).
+
+// FootprintConfig sizes the model. Defaults (DefaultFootprintConfig) yield
+// a ~0.5MB handler footprint, matching the paper.
+type FootprintConfig struct {
+	SharedDataPages    int
+	PrivateDataPages   int
+	SharedInstrPages   int
+	PrivateInstrPages  int
+	DataLineTouchFrac  float64 // fraction of lines touched within a shared data page
+	InstrLineTouchFrac float64
+	LinesPerPage       int
+}
+
+// DefaultFootprintConfig returns the calibration used for Fig 8.
+func DefaultFootprintConfig() FootprintConfig {
+	return FootprintConfig{
+		SharedDataPages:    80, // 320KB shared data
+		PrivateDataPages:   12, // 48KB private per handler
+		SharedInstrPages:   40, // 160KB code
+		PrivateInstrPages:  1,
+		DataLineTouchFrac:  0.85,
+		InstrLineTouchFrac: 0.99,
+		LinesPerPage:       64, // 4KB page / 64B line
+	}
+}
+
+// HandlerFootprint is the set of pages and lines one handler touches.
+type HandlerFootprint struct {
+	DataPages  map[int]bool
+	DataLines  map[int]bool
+	InstrPages map[int]bool
+	InstrLines map[int]bool
+}
+
+// FootprintBytes returns the data+instruction footprint in bytes (lines ×
+// 64B).
+func (h *HandlerFootprint) FootprintBytes() int {
+	return (len(h.DataLines) + len(h.InstrLines)) * 64
+}
+
+// GenHandler draws one handler's footprint. Shared pages occupy IDs
+// [0, Shared*), private pages get unique negative-free IDs from privateBase.
+func (cfg FootprintConfig) GenHandler(r *rand.Rand, privateBase int) *HandlerFootprint {
+	h := &HandlerFootprint{
+		DataPages:  make(map[int]bool),
+		DataLines:  make(map[int]bool),
+		InstrPages: make(map[int]bool),
+		InstrLines: make(map[int]bool),
+	}
+	touch := func(pages map[int]bool, lines map[int]bool, page int, frac float64) {
+		pages[page] = true
+		for l := 0; l < cfg.LinesPerPage; l++ {
+			if r.Float64() < frac {
+				lines[page*cfg.LinesPerPage+l] = true
+			}
+		}
+	}
+	for p := 0; p < cfg.SharedDataPages; p++ {
+		touch(h.DataPages, h.DataLines, p, cfg.DataLineTouchFrac)
+	}
+	for p := 0; p < cfg.PrivateDataPages; p++ {
+		touch(h.DataPages, h.DataLines, privateBase+p, 1.0)
+	}
+	instrBase := 1 << 20 // instruction address space disjoint from data
+	for p := 0; p < cfg.SharedInstrPages; p++ {
+		touch(h.InstrPages, h.InstrLines, instrBase+p, cfg.InstrLineTouchFrac)
+	}
+	for p := 0; p < cfg.PrivateInstrPages; p++ {
+		touch(h.InstrPages, h.InstrLines, instrBase+privateBase+p, 1.0)
+	}
+	return h
+}
+
+// GenInit draws the instance-initialization footprint: it covers every
+// shared page completely (init builds the shared state) plus some
+// init-only pages.
+func (cfg FootprintConfig) GenInit(r *rand.Rand) *HandlerFootprint {
+	h := &HandlerFootprint{
+		DataPages:  make(map[int]bool),
+		DataLines:  make(map[int]bool),
+		InstrPages: make(map[int]bool),
+		InstrLines: make(map[int]bool),
+	}
+	full := func(pages, lines map[int]bool, page int) {
+		pages[page] = true
+		for l := 0; l < cfg.LinesPerPage; l++ {
+			lines[page*cfg.LinesPerPage+l] = true
+		}
+	}
+	for p := 0; p < cfg.SharedDataPages; p++ {
+		full(h.DataPages, h.DataLines, p)
+	}
+	instrBase := 1 << 20
+	for p := 0; p < cfg.SharedInstrPages; p++ {
+		full(h.InstrPages, h.InstrLines, instrBase+p)
+	}
+	// Init-only pages (setup code/data not used by handlers).
+	for p := 0; p < 10; p++ {
+		full(h.DataPages, h.DataLines, 1<<19+p)
+		full(h.InstrPages, h.InstrLines, instrBase+1<<19+p)
+	}
+	return h
+}
+
+// commonFrac returns |a ∩ b| / |a|: the fraction of a's footprint that is
+// common with b (Fig 8 normalizes to the handler's footprint).
+func commonFrac(a, b map[int]bool) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	n := 0
+	for k := range a {
+		if b[k] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(a))
+}
+
+// Fig8Row is one bar group of Fig 8: the common (shareable) fraction of a
+// handler's footprint at each granularity.
+type Fig8Row struct {
+	Group string // "Handler-Handler" or "Handler-Init"
+	DPage float64
+	DLine float64
+	IPage float64
+	ILine float64
+}
+
+// RunFig8 generates handler pairs and handler/init pairs and measures the
+// common footprint fractions, averaged over trials.
+func RunFig8(cfg FootprintConfig, trials int, seed int64) []Fig8Row {
+	r := rand.New(rand.NewSource(seed))
+	var hh, hi Fig8Row
+	hh.Group, hi.Group = "Handler-Handler", "Handler-Init"
+	for i := 0; i < trials; i++ {
+		a := cfg.GenHandler(r, 1000+2*i*100)
+		b := cfg.GenHandler(r, 1000+(2*i+1)*100)
+		init := cfg.GenInit(r)
+		hh.DPage += commonFrac(a.DataPages, b.DataPages)
+		hh.DLine += commonFrac(a.DataLines, b.DataLines)
+		hh.IPage += commonFrac(a.InstrPages, b.InstrPages)
+		hh.ILine += commonFrac(a.InstrLines, b.InstrLines)
+		hi.DPage += commonFrac(a.DataPages, init.DataPages)
+		hi.DLine += commonFrac(a.DataLines, init.DataLines)
+		hi.IPage += commonFrac(a.InstrPages, init.InstrPages)
+		hi.ILine += commonFrac(a.InstrLines, init.InstrLines)
+	}
+	n := float64(trials)
+	hh.DPage /= n
+	hh.DLine /= n
+	hh.IPage /= n
+	hh.ILine /= n
+	hi.DPage /= n
+	hi.DLine /= n
+	hi.IPage /= n
+	hi.ILine /= n
+	return []Fig8Row{hh, hi}
+}

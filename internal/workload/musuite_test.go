@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMuSuiteCatalogValid(t *testing.T) {
+	c := MuSuiteCatalog()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Services) != NumMuServices {
+		t.Fatalf("services = %d", len(c.Services))
+	}
+}
+
+func TestMuSuiteApps(t *testing.T) {
+	apps := MuSuiteApps()
+	if len(apps) != 4 {
+		t.Fatalf("apps = %d", len(apps))
+	}
+	byName := map[string]*App{}
+	for _, a := range apps {
+		byName[a.Name] = a
+	}
+	// The suite's structural signatures: HDSearch fans out to 8 leaves
+	// (widest), Router is the lightest (3 small lookups), and every
+	// benchmark is a two-level mid-tier → leaves shape (depth 2).
+	hd := byName["HDSearch"].Stats()
+	if hd.Invocations != 9 {
+		t.Fatalf("HDSearch invocations = %d, want 9", hd.Invocations)
+	}
+	rt := byName["Router"].Stats()
+	if rt.Invocations != 4 {
+		t.Fatalf("Router invocations = %d, want 4", rt.Invocations)
+	}
+	if rt.TotalCPUMicros >= hd.TotalCPUMicros {
+		t.Fatal("Router should be lighter than HDSearch")
+	}
+	for name, a := range byName {
+		st := a.Stats()
+		// Depth 2: critical path ≈ mid-tier compute + one leaf's path, far
+		// below total CPU for the fan-out benchmarks.
+		if name != "Router" && st.CriticalPathMicros >= st.TotalCPUMicros {
+			t.Errorf("%s: no parallelism (CP %v >= total %v)", name, st.CriticalPathMicros, st.TotalCPUMicros)
+		}
+		// μSuite requests are μs-scale: total CPU well under a millisecond.
+		if st.TotalCPUMicros > 900 {
+			t.Errorf("%s total CPU = %vμs, μSuite is lighter", name, st.TotalCPUMicros)
+		}
+	}
+}
+
+func TestMuSuiteMix(t *testing.T) {
+	var total float64
+	seen := map[int]bool{}
+	for _, e := range MuSuiteMix() {
+		if seen[e.Root] {
+			t.Fatalf("duplicate root %d", e.Root)
+		}
+		seen[e.Root] = true
+		total += e.Weight
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", total)
+	}
+	if len(seen) != 4 {
+		t.Fatalf("mix covers %d benchmarks", len(seen))
+	}
+}
