@@ -8,6 +8,7 @@ package umanycore
 // experiments at full fidelity.
 
 import (
+	"fmt"
 	"testing"
 
 	"umanycore/internal/experiments"
@@ -284,6 +285,40 @@ func BenchmarkPowerModel(b *testing.B) {
 		umc := power.CorePower(power.UManycoreCore())
 		b.ReportMetric(sc, "serverclass-core-w")
 		b.ReportMetric(umc, "umanycore-core-w")
+	}
+}
+
+// BenchmarkEndToEndGridWorkers times the Figures 14/16/17 grid at several
+// sweep worker counts. The ns/op ratio between workers=1 and workers=8 is
+// the sweep runner's wall-clock speedup; the rows are bit-identical across
+// entries (TestEndToEndParallelDeterminism), so only the timing differs.
+func BenchmarkEndToEndGridWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			o := benchOptions()
+			o.Parallel = workers
+			for i := 0; i < b.N; i++ {
+				if rows := EndToEnd(o); len(rows) == 0 {
+					b.Fatal("empty grid")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig3Workers times the Figure 3 queue sweep (22 cells) at 1 vs all
+// workers — the Map2 counterpart of BenchmarkEndToEndGridWorkers.
+func BenchmarkFig3Workers(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			o := benchOptions()
+			o.Parallel = workers
+			for i := 0; i < b.N; i++ {
+				if rows := experiments.Fig3(o); len(rows) == 0 {
+					b.Fatal("empty sweep")
+				}
+			}
+		})
 	}
 }
 

@@ -3,20 +3,24 @@
 //
 // Usage:
 //
-//	umbench [-quick] [-seed N] [-figures 1,2,3,...]
+//	umbench [-quick] [-seed N] [-parallel N] [-figures 1,2,3,...]
 //
 // Figure names: 1 2 3 4 5 6 7 8 9 e2e 15 18 19 20 68 power. Default: all.
+// -parallel bounds the sweep worker pool (default: all cores); output is
+// bit-identical for any value.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
 
 	"umanycore"
+	"umanycore/internal/sweep"
 	"umanycore/internal/textplot"
 )
 
@@ -24,11 +28,13 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced-fidelity settings (faster, noisier)")
 	flag.BoolVar(&ascii, "ascii", false, "render ASCII charts next to the tables")
 	seed := flag.Int64("seed", 42, "simulation seed")
+	parallel := flag.Int("parallel", 0, "sweep workers (<=0: all cores); results are identical for any value")
 	figures := flag.String("figures", "all", "comma-separated figure list (1..9, e2e, 15, 18, 19, 20, 68, power)")
 	flag.Parse()
 
 	o := umanycore.DefaultExperimentOptions()
 	o.Seed = *seed
+	o.Parallel = *parallel
 	if *quick {
 		o = o.Quick()
 	}
@@ -65,14 +71,45 @@ func main() {
 		{"68", func() { sec68(o) }},
 		{"power", func() { powerTable() }},
 	}
+	workers := sweep.Workers(o.Parallel)
+	var totalWall, totalBusy time.Duration
 	for _, r := range runners {
 		if !want[r.key] {
 			continue
 		}
+		sweep.ResetBusy()
 		start := time.Now()
 		r.fn()
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", r.key, time.Since(start).Round(time.Millisecond))
+		wall := time.Since(start)
+		busy := sweep.Busy()
+		totalWall += wall
+		totalBusy += busy
+		fmt.Fprintf(os.Stderr, "[%s done in %v%s]\n",
+			r.key, wall.Round(time.Millisecond), speedupNote(busy, wall, workers))
 	}
+	fmt.Fprintf(os.Stderr, "[total %v with %d workers%s]\n",
+		totalWall.Round(time.Millisecond), workers, speedupNote(totalBusy, totalWall, workers))
+}
+
+// speedupNote formats the estimated speedup over -parallel 1 for one span of
+// wall time: sweep busy time (the sum of per-job sim durations, which is what
+// a single worker would have spent) divided by elapsed time. The estimate is
+// capped at min(workers, GOMAXPROCS): when workers oversubscribe the cores,
+// time-slicing inflates per-job durations, and the machine cannot beat its
+// core count on CPU-bound sims anyway. Empty when the span ran no sweep jobs
+// or gained nothing.
+func speedupNote(busy, wall time.Duration, workers int) string {
+	if busy <= 0 || wall <= 0 {
+		return ""
+	}
+	s := float64(busy) / float64(wall)
+	if cap := float64(min(workers, runtime.GOMAXPROCS(0))); s > cap {
+		s = cap
+	}
+	if s < 1.05 {
+		return ""
+	}
+	return fmt.Sprintf(", est %.1fx vs -parallel 1", s)
 }
 
 // ascii enables chart rendering (set by the -ascii flag).

@@ -19,6 +19,7 @@ import (
 	"umanycore"
 	"umanycore/internal/machine"
 	"umanycore/internal/sim"
+	"umanycore/internal/sweep"
 	"umanycore/internal/workload"
 )
 
@@ -35,6 +36,7 @@ func main() {
 	queues := flag.Int("queues", 0, "override scheduling-domain count (0 = preset)")
 	csCycles := flag.Int("cs", -1, "override context-switch cycles (-1 = preset)")
 	noContention := flag.Bool("no-icn-contention", false, "disable ICN contention (Fig 7 baseline)")
+	replicates := flag.Int("replicates", 1, "independent replicates with derived seeds (run in parallel; reports the p99 spread)")
 	flag.Parse()
 
 	cfg, err := buildConfig(*arch, *cores)
@@ -70,9 +72,24 @@ func main() {
 		rc.Arrivals = machine.BurstyArrivals
 	}
 
+	// Replicate 0 keeps the user's seed; extra replicates derive theirs, so
+	// -replicates 1 output matches a plain run bit for bit.
+	if *replicates < 1 {
+		*replicates = 1
+	}
+	seeds := make([]int64, *replicates)
+	seeds[0] = *seed
+	for i := 1; i < *replicates; i++ {
+		seeds[i] = sweep.Seed(*seed, fmt.Sprintf("replicate/%d", i))
+	}
 	start := time.Now()
-	res := umanycore.Run(cfg, rc)
+	results := sweep.Map(0, seeds, func(_ int, s int64) *umanycore.Result {
+		rrc := rc
+		rrc.Seed = s
+		return umanycore.Run(cfg, rrc)
+	})
 	elapsed := time.Since(start)
+	res := results[0]
 
 	fmt.Printf("machine      : %s (%d cores, %d domains, %s)\n", res.Machine, cfg.Cores, cfg.Domains, cfg.Topo)
 	fmt.Printf("workload     : %s @ %.0f RPS%s\n", res.App, res.RPS, mixTag(*mix))
@@ -95,6 +112,21 @@ func main() {
 			fmt.Printf("  %-9s n=%-7d mean=%9.1f p99=%10.1f\n",
 				catalog.Service(root).Name, sum.N, sum.Mean, sum.P99)
 		}
+	}
+	if len(results) > 1 {
+		lo, hi, sum := results[0].Latency.P99, results[0].Latency.P99, 0.0
+		for _, r := range results {
+			p := r.Latency.P99
+			if p < lo {
+				lo = p
+			}
+			if p > hi {
+				hi = p
+			}
+			sum += p
+		}
+		fmt.Printf("replicates   : n=%d p99 mean=%.1f min=%.1f max=%.1f [us]\n",
+			len(results), sum/float64(len(results)), lo, hi)
 	}
 }
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"umanycore/internal/machine"
 	"umanycore/internal/stats"
+	"umanycore/internal/sweep"
 )
 
 // Fig15Row is one application's cumulative technique ladder at 15K RPS:
@@ -31,13 +32,16 @@ func Fig15(o Options) []Fig15Row {
 	}
 	const rps = 15000
 	catalog := o.Apps[0].Catalog
-	baseRes := mixedRun(base, o, rps)
-	ladderRes := make([]*machine.Result, len(ladder))
-	for i, cfg := range ladder {
-		ladderRes[i] = mixedRun(cfg, o, rps)
-	}
+	// The base run and the four ladder rungs are five independent
+	// simulations — one sweep, base in slot 0.
+	results := sweep.Map(o.Parallel, append([]machine.Config{base}, ladder...),
+		func(_ int, cfg machine.Config) *machine.Result {
+			return mixedRun(cfg, o, rps)
+		})
+	baseRes, ladderRes := results[0], results[1:]
 	var rows []Fig15Row
-	for root, baseSum := range baseRes.PerRoot {
+	for _, root := range sortedRoots(baseRes.PerRoot) {
+		baseSum := baseRes.PerRoot[root]
 		row := Fig15Row{App: catalog.Service(root).Name}
 		dst := []*float64{&row.Villages, &row.LeafSpine, &row.HWSched, &row.HWCS}
 		for i := range ladder {
@@ -73,11 +77,14 @@ type Fig19Row struct {
 	NormTail map[string]float64
 }
 
-// Fig19Configs lists the §6.6 sensitivity configurations.
-var Fig19Configs = []struct {
+// Fig19Config is one §6.6 topology-sensitivity configuration.
+type Fig19Config struct {
 	Name                                          string
 	CoresPerVillage, VillagesPerCluster, Clusters int
-}{
+}
+
+// Fig19Configs lists the §6.6 sensitivity configurations.
+var Fig19Configs = []Fig19Config{
 	{"8x4x32", 8, 4, 32},
 	{"32x1x32", 32, 1, 32},
 	{"32x2x16", 32, 2, 16},
@@ -89,13 +96,13 @@ func Fig19(o Options) []Fig19Row {
 	o = o.normalized()
 	const rps = 15000
 	catalog := o.Apps[0].Catalog
-	results := make([]*machine.Result, len(Fig19Configs))
-	for i, tc := range Fig19Configs {
+	results := sweep.Map(o.Parallel, Fig19Configs, func(_ int, tc Fig19Config) *machine.Result {
 		cfg := withFleetCoupling(machine.UManycoreTopologyConfig(tc.CoresPerVillage, tc.VillagesPerCluster, tc.Clusters))
-		results[i] = mixedRun(cfg, o, rps)
-	}
+		return mixedRun(cfg, o, rps)
+	})
 	var rows []Fig19Row
-	for root, baseSum := range results[0].PerRoot {
+	for _, root := range sortedRoots(results[0].PerRoot) {
+		baseSum := results[0].PerRoot[root]
 		row := Fig19Row{App: catalog.Service(root).Name, NormTail: map[string]float64{}}
 		for i, tc := range Fig19Configs {
 			sum, ok := results[i].PerRoot[root]

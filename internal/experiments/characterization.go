@@ -5,6 +5,7 @@ import (
 
 	"umanycore/internal/cachesim"
 	"umanycore/internal/stats"
+	"umanycore/internal/sweep"
 	"umanycore/internal/uarch"
 	"umanycore/internal/workload"
 )
@@ -77,17 +78,12 @@ type Fig9Row struct {
 	HitRate   float64
 }
 
-// Fig9 reproduces Figure 9: L1/L2 TLB and cache hit rates for microservice
-// handler access streams on the Table 2 hierarchy.
-func Fig9(o Options) []Fig9Row {
-	o = o.normalized()
-	r := rand.New(rand.NewSource(o.Seed + 3))
-	const n = 400000
-
-	// Data side: the 0.5MB handler working set of §3.5, plus occasional
-	// reads of the instance's initialization state (the ~16MB snapshot
-	// image handlers share read-only) — the accesses that exercise the L2
-	// TLB and L2 cache.
+// fig9DataSide simulates the data-access stream: the 0.5MB handler working
+// set of §3.5, plus occasional reads of the instance's initialization state
+// (the ~16MB snapshot image handlers share read-only) — the accesses that
+// exercise the L2 TLB and L2 cache.
+func fig9DataSide(seed int64, n int) []Fig9Row {
+	r := rand.New(rand.NewSource(seed))
 	dTrace := uarch.GenDataTrace(uarch.Microservice, n, r)
 	const instanceState = 16 << 20
 	for i := range dTrace {
@@ -107,9 +103,19 @@ func Fig9(o Options) []Fig9Row {
 			l2d.Access(a.Addr)
 		}
 	}
+	return []Fig9Row{
+		{"Data", "L1TLB", l1dtlb.Stats().HitRate()},
+		{"Data", "L1Cache", l1d.Stats.HitRate()},
+		{"Data", "L2TLB", l2dtlb.Stats().HitRate()},
+		{"Data", "L2Cache", l2d.Stats.HitRate()},
+	}
+}
 
-	// Instruction side: the handler code footprint, plus rare excursions
-	// into the instance's shared library/runtime code (several MB).
+// fig9InstrSide simulates the instruction stream: the handler code
+// footprint, plus rare excursions into the instance's shared library/runtime
+// code (several MB).
+func fig9InstrSide(seed int64, n int) []Fig9Row {
+	r := rand.New(rand.NewSource(seed))
 	iTrace := uarch.GenInstrTrace(uarch.Microservice, n, r)
 	const libraryCode = 8 << 20
 	for i := range iTrace {
@@ -129,15 +135,27 @@ func Fig9(o Options) []Fig9Row {
 			l2i.Access(a)
 		}
 	}
-
 	return []Fig9Row{
-		{"Data", "L1TLB", l1dtlb.Stats().HitRate()},
-		{"Data", "L1Cache", l1d.Stats.HitRate()},
-		{"Data", "L2TLB", l2dtlb.Stats().HitRate()},
-		{"Data", "L2Cache", l2d.Stats.HitRate()},
 		{"Instructions", "L1TLB", l1itlb.Stats().HitRate()},
 		{"Instructions", "L1Cache", l1i.Stats.HitRate()},
 		{"Instructions", "L2TLB", l2itlb.Stats().HitRate()},
 		{"Instructions", "L2Cache", l2i.Stats.HitRate()},
 	}
+}
+
+// Fig9 reproduces Figure 9: L1/L2 TLB and cache hit rates for microservice
+// handler access streams on the Table 2 hierarchy. The data and instruction
+// sides are independent trace simulations with their own derived streams, so
+// they run as two sweep jobs.
+func Fig9(o Options) []Fig9Row {
+	o = o.normalized()
+	const n = 400000
+	sides := []func() []Fig9Row{
+		func() []Fig9Row { return fig9DataSide(o.jobSeed("fig9/data"), n) },
+		func() []Fig9Row { return fig9InstrSide(o.jobSeed("fig9/instr"), n) },
+	}
+	parts := sweep.Map(o.Parallel, sides, func(_ int, side func() []Fig9Row) []Fig9Row {
+		return side()
+	})
+	return append(parts[0], parts[1]...)
 }

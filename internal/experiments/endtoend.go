@@ -5,6 +5,7 @@ import (
 	"umanycore/internal/power"
 	"umanycore/internal/sim"
 	"umanycore/internal/stats"
+	"umanycore/internal/sweep"
 	"umanycore/internal/workload"
 )
 
@@ -24,23 +25,29 @@ type E2ERow struct {
 	Unfinished  int64
 }
 
-// mixedRun drives one machine with the SocialNetwork mix at totalRPS.
+// mixedRun drives one machine with the SocialNetwork mix at totalRPS, its
+// seed keyed by the (arch, load) cell.
 func mixedRun(cfg machine.Config, o Options, totalRPS float64) *machine.Result {
-	rc := o.runCfg(o.Apps[0], totalRPS)
-	rc.Mix = workload.SocialNetworkMix()
-	return machine.Run(cfg, rc)
+	return mixedRunAt(cfg, o, totalRPS, o.Duration)
 }
 
 // EndToEnd runs the full §6.1–§6.4 grid: every architecture × load, with
-// per-request-type rows extracted from the mixed run.
+// per-request-type rows extracted from the mixed run. Cells are independent
+// simulations, so they fan out over the sweep pool; rows come back in grid
+// order (arch-major, then load, then root ID) for any worker count.
 func EndToEnd(o Options) []E2ERow {
 	o = o.normalized()
 	catalog := o.Apps[0].Catalog
+	grid := sweep.Map2(o.Parallel, archSet(), o.Loads,
+		func(cfg machine.Config, rps float64) *machine.Result {
+			return mixedRun(cfg, o, rps)
+		})
 	var rows []E2ERow
-	for _, cfg := range archSet() {
-		for _, rps := range o.Loads {
-			res := mixedRun(cfg, o, rps)
-			for root, sum := range res.PerRoot {
+	for i, cfg := range archSet() {
+		for j, rps := range o.Loads {
+			res := grid[i][j]
+			for _, root := range sortedRoots(res.PerRoot) {
+				sum := res.PerRoot[root]
 				ratio := 0.0
 				if sum.Mean > 0 {
 					ratio = sum.P99 / sum.Mean
@@ -123,7 +130,9 @@ type Fig18Row struct {
 
 // Fig18 reproduces Figure 18. The searched request types are restricted to
 // o.Apps (the full default suite covers all eight); the offered load is
-// always the full mix.
+// always the full mix. The per-(arch, type) binary searches are independent,
+// so each runs as one sweep job (its probes stay sequential — a search is
+// inherently iterative).
 func Fig18(o Options) []Fig18Row {
 	o = o.normalized()
 	catalog := o.Apps[0].Catalog
@@ -132,12 +141,24 @@ func Fig18(o Options) []Fig18Row {
 		wanted[a.Root] = true
 	}
 	mix := workload.SocialNetworkMix()
-	var rows []Fig18Row
-	for _, cfg := range archSet() {
-		// Contention-free per-type averages.
-		cf := mixedRunAt(cfg, o, 100, 2*sim.Second)
+
+	// Stage 1: contention-free per-type averages, one run per architecture.
+	archs := archSet()
+	cfRuns := sweep.Map(o.Parallel, archs, func(_ int, cfg machine.Config) *machine.Result {
+		return mixedRunAt(cfg, o, 100, 2*sim.Second)
+	})
+
+	// Stage 2: one QoS search per (architecture, request type).
+	type searchJob struct {
+		cfg   machine.Config
+		root  int
+		limit float64
+		hiRPS float64
+	}
+	var jobs []searchJob
+	for i, cfg := range archs {
 		limits := map[int]float64{}
-		for root, sum := range cf.PerRoot {
+		for root, sum := range cfRuns[i].PerRoot {
 			limits[root] = 5 * sum.Mean
 		}
 		hi := 400000.0
@@ -145,27 +166,37 @@ func Fig18(o Options) []Fig18Row {
 			hi = 80000
 		}
 		for _, e := range mix {
-			root := e.Root
-			if !wanted[root] {
+			if !wanted[e.Root] {
 				continue
 			}
-			ok := func(rps float64) bool {
-				res := mixedRunAt(cfg, o, rps, o.Duration)
-				bad := float64(res.Rejected) + float64(res.Unfinished)
-				if res.Completed == 0 || bad > 0.01*float64(res.Submitted) {
-					return false
-				}
-				sum, okRoot := res.PerRoot[root]
-				return okRoot && sum.N > 0 && sum.P99 <= limits[root]
-			}
-			max := binarySearchMax(ok, 2000, hi)
-			rows = append(rows, Fig18Row{App: catalog.Service(root).Name, Arch: cfg.Name, MaxRPS: max})
+			jobs = append(jobs, searchJob{cfg: cfg, root: e.Root, limit: limits[e.Root], hiRPS: hi})
 		}
+	}
+	maxes := sweep.Map(o.Parallel, jobs, func(_ int, j searchJob) float64 {
+		ok := func(rps float64) bool {
+			res := mixedRunAt(j.cfg, o, rps, o.Duration)
+			bad := float64(res.Rejected) + float64(res.Unfinished)
+			if res.Completed == 0 || bad > 0.01*float64(res.Submitted) {
+				return false
+			}
+			sum, okRoot := res.PerRoot[j.root]
+			return okRoot && sum.N > 0 && sum.P99 <= j.limit
+		}
+		return binarySearchMax(ok, 2000, j.hiRPS)
+	})
+	rows := make([]Fig18Row, len(jobs))
+	for i, j := range jobs {
+		rows[i] = Fig18Row{App: catalog.Service(j.root).Name, Arch: j.cfg.Name, MaxRPS: maxes[i]}
 	}
 	return rows
 }
 
 func mixedRunAt(cfg machine.Config, o Options, rps float64, dur sim.Time) *machine.Result {
+	// Every cell of the mixed grid shares the base seed: the cross-arch and
+	// cross-load ratios the figures report are paired comparisons over the
+	// same arrival randomness, exactly as in the sequential driver. (A
+	// constant is still a pure function of the job, so the sweep determinism
+	// contract holds.)
 	rc := o.runCfg(o.Apps[0], rps)
 	rc.Duration = dur
 	rc.Mix = workload.SocialNetworkMix()
@@ -220,10 +251,14 @@ func Sec68(o Options) Sec68Result {
 	umc := withFleetCoupling(machine.UManycoreConfig())
 	var out Sec68Result
 	var ratios []float64
-	for _, rps := range o.Loads {
-		scRes := mixedRun(sc, o, rps)
-		uRes := mixedRun(umc, o, rps)
-		for root, scSum := range scRes.PerRoot {
+	grid := sweep.Map2(o.Parallel, o.Loads, []machine.Config{sc, umc},
+		func(rps float64, cfg machine.Config) *machine.Result {
+			return mixedRun(cfg, o, rps)
+		})
+	for i, rps := range o.Loads {
+		scRes, uRes := grid[i][0], grid[i][1]
+		for _, root := range sortedRoots(scRes.PerRoot) {
+			scSum := scRes.PerRoot[root]
 			uSum, ok := uRes.PerRoot[root]
 			if !ok || uSum.P99 <= 0 {
 				continue

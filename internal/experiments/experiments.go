@@ -11,8 +11,12 @@
 package experiments
 
 import (
+	"sort"
+
 	"umanycore/internal/machine"
 	"umanycore/internal/sim"
+	"umanycore/internal/stats"
+	"umanycore/internal/sweep"
 	"umanycore/internal/workload"
 )
 
@@ -26,6 +30,10 @@ type Options struct {
 	Drain    sim.Time  // post-window drain bound
 	Loads    []float64 // per-server RPS points
 	Apps     []*workload.App
+	// Parallel bounds the sweep worker pool fanning out independent
+	// simulations; <= 0 means all cores. Results are bit-identical for any
+	// value (see internal/sweep's determinism contract).
+	Parallel int
 }
 
 // DefaultOptions returns full-fidelity settings.
@@ -81,6 +89,29 @@ func (o Options) runCfg(app *workload.App, rps float64) machine.RunConfig {
 		Drain:    o.Drain,
 		Seed:     o.Seed,
 	}
+}
+
+// jobSeed derives the seed for one sweep cell from the base seed and the
+// cell's identity key — a pure function of the job, never of execution
+// order, so parallel and sequential sweeps agree bit for bit.
+func (o Options) jobSeed(key string) int64 { return sweep.Seed(o.Seed, key) }
+
+// runCfgKey is runCfg with the cell-keyed seed.
+func (o Options) runCfgKey(app *workload.App, rps float64, key string) machine.RunConfig {
+	rc := o.runCfg(app, rps)
+	rc.Seed = o.jobSeed(key)
+	return rc
+}
+
+// sortedRoots returns the per-root summary keys in ascending ID order, so
+// row assembly from a PerRoot map is deterministic.
+func sortedRoots(per map[int]stats.Summary) []int {
+	roots := make([]int, 0, len(per))
+	for root := range per {
+		roots = append(roots, root)
+	}
+	sort.Ints(roots)
+	return roots
 }
 
 // withFleetCoupling applies the 10-server cluster's cross-server RPC

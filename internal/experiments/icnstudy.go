@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"fmt"
+
 	"umanycore/internal/machine"
+	"umanycore/internal/sweep"
 )
 
 // Fig7Row is one load level of Figure 7: tail latency with ICN contention,
@@ -23,24 +26,30 @@ func Fig7(o Options) []Fig7Row {
 	app := fig7App()
 	loads := []int{1000, 5000, 10000, 50000}
 
-	run := func(topo machine.TopoKind, contention bool, rps int) float64 {
+	type variant struct {
+		topo       machine.TopoKind
+		contention bool
+	}
+	variants := []variant{
+		{machine.MeshTopo, false}, {machine.MeshTopo, true},
+		{machine.FatTreeTopo, false}, {machine.FatTreeTopo, true},
+	}
+	grid := sweep.Map2(o.Parallel, loads, variants, func(rps int, v variant) float64 {
 		cfg := machine.ScaleOutConfig()
-		cfg.Topo = topo
-		if topo == machine.MeshTopo {
+		cfg.Topo = v.topo
+		if v.topo == machine.MeshTopo {
 			// 32 cluster endpoints as an 8×4 mesh.
 			cfg.MeshW, cfg.MeshH = 8, 4
 		}
-		cfg.ICNContention = contention
-		res := machine.Run(cfg, o.runCfg(app, float64(rps)))
+		cfg.ICNContention = v.contention
+		key := fmt.Sprintf("fig7/%v/%d", v.topo, rps)
+		res := machine.Run(cfg, o.runCfgKey(app, float64(rps), key))
 		return res.Latency.P99
-	}
+	})
 
 	rows := make([]Fig7Row, 0, len(loads))
-	for _, rps := range loads {
-		meshBase := run(machine.MeshTopo, false, rps)
-		mesh := run(machine.MeshTopo, true, rps)
-		ftBase := run(machine.FatTreeTopo, false, rps)
-		ft := run(machine.FatTreeTopo, true, rps)
+	for i, rps := range loads {
+		meshBase, mesh, ftBase, ft := grid[i][0], grid[i][1], grid[i][2], grid[i][3]
 		row := Fig7Row{RPS: rps}
 		if meshBase > 0 {
 			row.MeshNorm = mesh / meshBase

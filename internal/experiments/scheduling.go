@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"fmt"
+
 	"umanycore/internal/machine"
 	"umanycore/internal/sched"
+	"umanycore/internal/sweep"
 	"umanycore/internal/workload"
 )
 
@@ -51,10 +54,8 @@ func Fig3(o Options) []Fig3Row {
 	o = o.normalized()
 	app := fig3App()
 	queueCounts := []int{1024, 512, 256, 128, 64, 32, 16, 8, 4, 2, 1}
-	rows := make([]Fig3Row, 0, len(queueCounts))
-	for _, q := range queueCounts {
-		row := Fig3Row{Queues: q}
-		for _, steal := range []bool{false, true} {
+	grid := sweep.Map2(o.Parallel, queueCounts, []bool{false, true},
+		func(q int, steal bool) *machine.Result {
 			cfg := machine.ScaleOutConfig()
 			cfg.Domains = q
 			cfg.TreeAffinity = true
@@ -69,16 +70,20 @@ func Fig3(o Options) []Fig3Row {
 				WorkStealing:  steal,
 				StealCycles:   sched.ZygOSSched().StealCycles,
 			}
-			res := machine.Run(cfg, o.runCfg(app, 50000))
-			if steal {
-				row.AvgStealMicros = res.Latency.Mean
-				row.TailStealMicros = res.Latency.P99
-			} else {
-				row.AvgMicros = res.Latency.Mean
-				row.TailMicros = res.Latency.P99
-			}
-		}
-		rows = append(rows, row)
+			// Steal/no-steal at one queue count share a seed: the pair is a
+			// paired comparison over the same arrival sequence.
+			return machine.Run(cfg, o.runCfgKey(app, 50000, fmt.Sprintf("fig3/%d", q)))
+		})
+	rows := make([]Fig3Row, 0, len(queueCounts))
+	for i, q := range queueCounts {
+		noSteal, steal := grid[i][0], grid[i][1]
+		rows = append(rows, Fig3Row{
+			Queues:          q,
+			AvgMicros:       noSteal.Latency.Mean,
+			TailMicros:      noSteal.Latency.P99,
+			AvgStealMicros:  steal.Latency.Mean,
+			TailStealMicros: steal.Latency.P99,
+		})
 	}
 	return rows
 }
@@ -102,24 +107,24 @@ func Fig6(o Options) []Fig6Row {
 	loads := []int{5000, 10000, 50000}
 	csPoints := []int{0, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}
 
-	base := make(map[int]float64)
-	for _, rps := range loads {
+	// One sweep over the full (CS overhead × load) grid; the zero-overhead
+	// column doubles as the normalization baseline, so its NormTail is
+	// exactly 1 as in the sequential path.
+	grid := sweep.Map2(o.Parallel, csPoints, loads, func(cs, rps int) float64 {
 		cfg := machine.ScaleOutConfig()
 		cfg.CentralDispatcher = true
-		cfg.Policy.CSCycles = 0
-		res := machine.Run(cfg, o.runCfg(app, float64(rps)))
-		base[rps] = res.Latency.P99
-	}
+		cfg.Policy.CSCycles = cs
+		// All CS points at one load share a seed, so the normalized tails
+		// isolate the context-switch overhead from arrival noise.
+		res := machine.Run(cfg, o.runCfgKey(app, float64(rps), fmt.Sprintf("fig6/%d", rps)))
+		return res.Latency.P99
+	})
 	rows := make([]Fig6Row, 0, len(csPoints))
-	for _, cs := range csPoints {
+	for i, cs := range csPoints {
 		row := Fig6Row{CSCycles: cs, NormTail: make(map[int]float64)}
-		for _, rps := range loads {
-			cfg := machine.ScaleOutConfig()
-			cfg.CentralDispatcher = true
-			cfg.Policy.CSCycles = cs
-			res := machine.Run(cfg, o.runCfg(app, float64(rps)))
-			if base[rps] > 0 {
-				row.NormTail[rps] = res.Latency.P99 / base[rps]
+		for j, rps := range loads {
+			if base := grid[0][j]; base > 0 {
+				row.NormTail[rps] = grid[i][j] / base
 			}
 		}
 		rows = append(rows, row)

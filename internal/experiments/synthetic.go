@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"umanycore/internal/machine"
+	"umanycore/internal/sweep"
 	"umanycore/internal/workload"
 )
 
@@ -26,26 +27,44 @@ type Fig20Row struct {
 // ServerClass) live.
 func Fig20(o Options) []Fig20Row {
 	o = o.normalized()
-	var rows []Fig20Row
+	type cell struct {
+		dist string
+		app  *workload.App
+		rps  float64
+		cfg  machine.Config
+	}
+	var jobs []cell
 	for _, dist := range []string{"exponential", "lognormal", "bimodal"} {
 		app, err := workload.SyntheticApp(dist, 10, 3)
 		if err != nil {
 			panic(fmt.Sprintf("experiments: %v", err))
 		}
 		for _, rps := range o.Loads {
-			row := Fig20Row{Dist: dist, RPS: rps}
 			for _, cfg := range archSet() {
-				res := machine.Run(cfg, o.runCfg(app, rps))
-				switch cfg.Name {
-				case "ServerClass-40":
-					row.ServerClassTail = res.Latency.P99
-				case "ScaleOut":
-					row.ScaleOutTail = res.Latency.P99
-				case "uManycore":
-					row.UManycoreTail = res.Latency.P99
-				}
+				jobs = append(jobs, cell{dist: dist, app: app, rps: rps, cfg: cfg})
 			}
-			rows = append(rows, row)
+		}
+	}
+	tails := sweep.Map(o.Parallel, jobs, func(_ int, j cell) float64 {
+		// The three architectures at one (distribution, load) point share a
+		// seed, keeping the bar-group comparison paired.
+		key := fmt.Sprintf("fig20/%s/%g", j.dist, j.rps)
+		res := machine.Run(j.cfg, o.runCfgKey(j.app, j.rps, key))
+		return res.Latency.P99
+	})
+	var rows []Fig20Row
+	for i, j := range jobs {
+		if i%len(archSet()) == 0 {
+			rows = append(rows, Fig20Row{Dist: j.dist, RPS: j.rps})
+		}
+		row := &rows[len(rows)-1]
+		switch j.cfg.Name {
+		case "ServerClass-40":
+			row.ServerClassTail = tails[i]
+		case "ScaleOut":
+			row.ScaleOutTail = tails[i]
+		case "uManycore":
+			row.UManycoreTail = tails[i]
 		}
 	}
 	return rows

@@ -14,6 +14,7 @@ import (
 	"umanycore/internal/machine"
 	"umanycore/internal/sim"
 	"umanycore/internal/stats"
+	"umanycore/internal/sweep"
 	"umanycore/internal/workload"
 )
 
@@ -71,19 +72,28 @@ func Run(fc Config, app *workload.App, totalRPS float64, rc machine.RunConfig, s
 	merged := &stats.Sample{}
 	out := &Result{Machine: mcfg.Name, App: app.Name, TotalRPS: totalRPS}
 	var utilSum float64
-	for s := 0; s < fc.Servers; s++ {
+	// Servers are independent simulations with per-server seeds; fan them
+	// out and merge in server order, so the fleet result is identical for
+	// any worker count.
+	servers := make([]int, fc.Servers)
+	for s := range servers {
+		servers[s] = s
+	}
+	perServer := sweep.Map(0, servers, func(_ int, s int) *machine.Result {
 		srun := rc
 		srun.App = app
 		srun.RPS = totalRPS / float64(fc.Servers)
 		srun.Seed = seed + int64(s)*7919
-		res := machine.Run(mcfg, srun)
+		return machine.Run(mcfg, srun)
+	})
+	for _, res := range perServer {
 		out.PerServer = append(out.PerServer, res)
 		out.Submitted += res.Submitted
 		out.Completed += res.Completed
 		out.Rejected += res.Rejected
 		out.Unfinished += res.Unfinished
 		utilSum += res.Utilization
-		for _, v := range res.Sample.Values() {
+		for _, v := range res.Sample.UnsafeValues() {
 			merged.Add(v)
 		}
 	}

@@ -1,0 +1,52 @@
+package machine
+
+import (
+	"testing"
+
+	"umanycore/internal/sim"
+	"umanycore/internal/workload"
+)
+
+// benchRunConfig is a short but representative mixed run.
+func benchRunConfig(seed int64) RunConfig {
+	return RunConfig{
+		App:      workload.SocialNetworkApps()[0],
+		Mix:      workload.SocialNetworkMix(),
+		RPS:      10000,
+		Duration: 30 * sim.Millisecond,
+		Warmup:   5 * sim.Millisecond,
+		Drain:    120 * sim.Millisecond,
+		Seed:     seed,
+	}
+}
+
+// BenchmarkMachineRun measures one full machine simulation — the unit of
+// work the sweep runner fans out — with allocation reporting so the engine
+// reuse and event free-list wins are visible.
+func BenchmarkMachineRun(b *testing.B) {
+	cfg := UManycoreConfig()
+	rc := benchRunConfig(42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Run(cfg, rc)
+		if res.Completed == 0 {
+			b.Fatal("benchmark run completed no requests")
+		}
+	}
+}
+
+// BenchmarkMachineRunScaleOut exercises the software-scheduler path, whose
+// per-event overhead profile differs from the hardware-RQ path.
+func BenchmarkMachineRunScaleOut(b *testing.B) {
+	cfg := ScaleOutConfig()
+	rc := benchRunConfig(42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Run(cfg, rc)
+		if res.Completed == 0 {
+			b.Fatal("benchmark run completed no requests")
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"sync"
+
 	"umanycore/internal/dist"
 	"umanycore/internal/icn"
 	"umanycore/internal/sim"
@@ -91,10 +93,20 @@ type Result struct {
 	Events uint64
 }
 
+// enginePool recycles simulation engines across runs: replicate loops (grid
+// sweeps, binary searches, fleet servers) reuse heap storage, event free
+// lists and random streams instead of re-growing them every run. Engines are
+// handed out per Run call, so concurrent sweep workers each get their own.
+var enginePool = sync.Pool{
+	New: func() any { return sim.NewEngineCap(0, 4096) },
+}
+
 // Run executes one machine under open-loop load and returns the results.
 func Run(cfg Config, rc RunConfig) *Result {
 	rc = rc.normalized()
-	eng := sim.NewEngine(rc.Seed)
+	eng := enginePool.Get().(*sim.Engine)
+	eng.Reset(rc.Seed)
+	defer enginePool.Put(eng)
 	var m *Machine
 	if len(rc.Mix) > 0 {
 		m = NewMix(eng, cfg, rc.App.Catalog, rc.Mix)

@@ -1,0 +1,44 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineEventChurn measures the steady-state cost of the kernel's
+// schedule/cancel/fire cycle. The allocation count is the headline: with the
+// free-list recycler every scheduled node is reused, so allocs/op should be
+// near zero once the pool is warm.
+func BenchmarkEngineEventChurn(b *testing.B) {
+	e := NewEngine(1)
+	const batch = 128
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			h := e.After(Time(j+1), fn)
+			if j%4 == 0 {
+				e.Cancel(h)
+			}
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkEngineNestedTimers measures the self-rescheduling pattern every
+// machine model uses (arrival loops, timer wheels).
+func BenchmarkEngineNestedTimers(b *testing.B) {
+	e := NewEngine(7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < 256 {
+				e.After(Time(n%17+1), tick)
+			}
+		}
+		e.After(1, tick)
+		e.Run()
+	}
+}

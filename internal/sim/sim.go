@@ -68,13 +68,20 @@ type scheduled struct {
 	seq   uint64
 	fn    Event
 	index int // heap index; -1 once popped or cancelled
+	// gen guards recycled nodes: a Handle is only live while its generation
+	// matches, so a stale Handle cannot cancel a later event that happens to
+	// reuse the same node from the free list.
+	gen uint32
 }
 
 // Handle identifies a scheduled event so it can be cancelled.
-type Handle struct{ s *scheduled }
+type Handle struct {
+	s   *scheduled
+	gen uint32
+}
 
 // Cancelled reports whether the event was cancelled or already fired.
-func (h Handle) live() bool { return h.s != nil && h.s.index >= 0 }
+func (h Handle) live() bool { return h.s != nil && h.s.index >= 0 && h.s.gen == h.gen }
 
 type eventHeap []*scheduled
 
@@ -111,6 +118,7 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	events  eventHeap
+	free    []*scheduled // recycled event nodes (pop/cancel feed it)
 	seed    int64
 	streams map[string]*rand.Rand
 	fired   uint64
@@ -120,6 +128,57 @@ type Engine struct {
 // NewEngine returns an engine whose random streams all derive from seed.
 func NewEngine(seed int64) *Engine {
 	return &Engine{seed: seed, streams: make(map[string]*rand.Rand)}
+}
+
+// NewEngineCap returns an engine with event-heap and free-list storage
+// preallocated for roughly capHint concurrently pending events, avoiding
+// repeated growth in event-heavy runs.
+func NewEngineCap(seed int64, capHint int) *Engine {
+	e := NewEngine(seed)
+	if capHint > 0 {
+		e.events = make(eventHeap, 0, capHint)
+		e.free = make([]*scheduled, 0, capHint)
+	}
+	return e
+}
+
+// Reset rewinds the engine to a fresh state under a new seed while keeping
+// its allocated storage (event heap, free list, random streams). A reset
+// engine behaves exactly like NewEngine(seed): existing streams are re-seeded
+// in place, so replicate loops can reuse one engine with bit-identical
+// results.
+func (e *Engine) Reset(seed int64) {
+	for _, s := range e.events {
+		e.recycle(s)
+	}
+	e.events = e.events[:0]
+	e.now = 0
+	e.seq = 0
+	e.fired = 0
+	e.stopped = false
+	e.seed = seed
+	for name, r := range e.streams {
+		r.Seed(seed ^ streamHash(name))
+	}
+}
+
+// recycle returns a node to the free list, invalidating outstanding handles.
+func (e *Engine) recycle(s *scheduled) {
+	s.fn = nil
+	s.index = -1
+	s.gen++
+	e.free = append(e.free, s)
+}
+
+// node produces a blank event node, reusing a recycled one when available.
+func (e *Engine) node() *scheduled {
+	if n := len(e.free); n > 0 {
+		s := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return s
+	}
+	return &scheduled{}
 }
 
 // Now returns the current virtual time.
@@ -138,10 +197,11 @@ func (e *Engine) At(t Time, fn Event) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	s := &scheduled{at: t, seq: e.seq, fn: fn}
+	s := e.node()
+	s.at, s.seq, s.fn = t, e.seq, fn
 	e.seq++
 	heap.Push(&e.events, s)
-	return Handle{s}
+	return Handle{s: s, gen: s.gen}
 }
 
 // After schedules fn to run d after the current time.
@@ -159,6 +219,7 @@ func (e *Engine) Cancel(h Handle) bool {
 		return false
 	}
 	heap.Remove(&e.events, h.s.index)
+	e.recycle(h.s)
 	return true
 }
 
@@ -183,7 +244,12 @@ func (e *Engine) RunUntil(deadline Time) {
 		heap.Pop(&e.events)
 		e.now = next.at
 		e.fired++
-		next.fn()
+		fn := next.fn
+		// Recycle before firing: fn frequently schedules a follow-up event
+		// (arrival loops, timer chains), which can then reuse this node
+		// immediately instead of allocating.
+		e.recycle(next)
+		fn()
 	}
 	if !e.stopped && e.now < deadline && deadline < Time(1<<62) {
 		e.now = deadline
@@ -197,9 +263,16 @@ func (e *Engine) Rand(name string) *rand.Rand {
 	if r, ok := e.streams[name]; ok {
 		return r
 	}
-	h := fnv.New64a()
-	h.Write([]byte(name))
-	r := rand.New(rand.NewSource(e.seed ^ int64(h.Sum64())))
+	r := rand.New(rand.NewSource(e.seed ^ streamHash(name)))
 	e.streams[name] = r
 	return r
+}
+
+// streamHash maps a stream name to the seed perturbation used by Rand and
+// Reset. Reset re-seeds surviving streams with the same function, so a
+// reused engine and a fresh one draw identical sequences.
+func streamHash(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64())
 }

@@ -325,3 +325,82 @@ func TestEngineOrderProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// runTrace drives a deterministic random event cascade and records (time,
+// value) pairs — the fingerprint used by the reuse tests below.
+func runTrace(e *Engine) []int64 {
+	var out []int64
+	n := 0
+	var rec func()
+	rec = func() {
+		out = append(out, int64(e.Now()), e.Rand("x").Int63())
+		n++
+		if n < 64 {
+			h := e.After(Time(e.Rand("gap").Intn(50)+1), func() {})
+			e.After(Time(e.Rand("gap").Intn(50)+1), rec)
+			if n%3 == 0 {
+				e.Cancel(h)
+			}
+		}
+	}
+	e.At(0, rec)
+	e.Run()
+	return out
+}
+
+func TestEngineResetMatchesFresh(t *testing.T) {
+	reused := NewEngine(1)
+	runTrace(reused) // dirty the engine under a different seed
+	reused.Reset(99)
+	got := runTrace(reused)
+	want := runTrace(NewEngine(99))
+	if len(got) != len(want) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("reset engine diverged at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEngineCapMatchesDefault(t *testing.T) {
+	a := runTrace(NewEngine(7))
+	b := runTrace(NewEngineCap(7, 4096))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("capacity hint changed behaviour at %d", i)
+		}
+	}
+}
+
+func TestStaleHandleCannotCancelRecycledNode(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	h := e.At(10, func() {})
+	e.Run() // h's node fires and is recycled
+	// The next event may reuse the node behind h; the stale handle must not
+	// be able to cancel it.
+	e.At(20, func() { fired = true })
+	if e.Cancel(h) {
+		t.Fatal("stale handle cancel reported success")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("stale handle cancelled a recycled node's new event")
+	}
+}
+
+func TestEngineResetClearsPending(t *testing.T) {
+	e := NewEngine(5)
+	ran := false
+	e.At(100, func() { ran = true })
+	e.Reset(5)
+	if e.Pending() != 0 || e.Now() != 0 || e.Fired() != 0 {
+		t.Fatalf("reset left state: pending=%d now=%v fired=%d", e.Pending(), e.Now(), e.Fired())
+	}
+	e.Run()
+	if ran {
+		t.Fatal("event survived Reset")
+	}
+}

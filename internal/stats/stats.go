@@ -179,10 +179,23 @@ func (s Summary) String() string {
 	return fmt.Sprintf("n=%d mean=%.2f p50=%.2f p99=%.2f max=%.2f", s.N, s.Mean, s.Median, s.P99, s.Max)
 }
 
-// Values exposes the raw observations (sorted if a quantile was taken);
-// callers must not mutate the returned slice. It exists so samples from
-// independent simulations (e.g. fleet servers) can be merged exactly.
-func (s *Sample) Values() []float64 { return s.xs }
+// Values returns a copy of the raw observations (sorted if a quantile was
+// taken since the last Add). It exists so samples from independent
+// simulations (e.g. fleet servers) can be merged exactly. The copy protects
+// the sample's internals: Quantile and friends sort the backing slice in
+// place, so handing it out would let callers corrupt the sample (and let the
+// sample reorder a caller's view under its feet).
+func (s *Sample) Values() []float64 {
+	out := make([]float64, len(s.xs))
+	copy(out, s.xs)
+	return out
+}
+
+// UnsafeValues exposes the internal observation slice without copying — the
+// escape hatch for hot read-only merge loops. The slice aliases the sample:
+// callers must not mutate it, must not hold it across Add, and must tolerate
+// it being re-sorted by any quantile query.
+func (s *Sample) UnsafeValues() []float64 { return s.xs }
 
 // Reset clears the sample for reuse.
 func (s *Sample) Reset() {

@@ -1,0 +1,105 @@
+package sweep
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(4) != 4 {
+		t.Fatal("explicit worker count ignored")
+	}
+	if Workers(0) != runtime.GOMAXPROCS(0) || Workers(-1) != runtime.GOMAXPROCS(0) {
+		t.Fatal("non-positive should mean all cores")
+	}
+}
+
+func TestSeedDeterministicAndDistinct(t *testing.T) {
+	if Seed(42, "e2e/uManycore/15000") != Seed(42, "e2e/uManycore/15000") {
+		t.Fatal("same (base, key) produced different seeds")
+	}
+	seen := map[int64]string{}
+	for _, k := range []string{"a", "b", "e2e/uManycore/5000", "e2e/uManycore/15000", ""} {
+		s := Seed(42, k)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("keys %q and %q collide", prev, k)
+		}
+		seen[s] = k
+	}
+	if Seed(1, "x") == Seed(2, "x") {
+		t.Fatal("base seed ignored")
+	}
+}
+
+func TestMapOrderIndependentOfWorkers(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	sq := func(_ int, x int) int { return x * x }
+	seq := Map(1, items, sq)
+	for _, w := range []int{2, 3, 8, 100, 0} {
+		par := Map(w, items, sq)
+		if len(par) != len(seq) {
+			t.Fatalf("w=%d: length %d", w, len(par))
+		}
+		for i := range seq {
+			if par[i] != seq[i] {
+				t.Fatalf("w=%d: result[%d] = %d, want %d", w, i, par[i], seq[i])
+			}
+		}
+	}
+}
+
+func TestMapRunsEveryItemOnce(t *testing.T) {
+	var calls atomic.Int64
+	n := 1000
+	items := make([]struct{}, n)
+	Map(16, items, func(i int, _ struct{}) int {
+		calls.Add(1)
+		return i
+	})
+	if calls.Load() != int64(n) {
+		t.Fatalf("fn called %d times, want %d", calls.Load(), n)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map(8, nil, func(int, int) int { return 0 }); got != nil {
+		t.Fatalf("empty map = %v", got)
+	}
+}
+
+func TestMap2Shape(t *testing.T) {
+	rows := []string{"a", "b", "c"}
+	cols := []int{1, 2}
+	grid := Map2(4, rows, cols, func(a string, b int) string {
+		return a + string(rune('0'+b))
+	})
+	if len(grid) != 3 || len(grid[0]) != 2 {
+		t.Fatalf("grid shape %dx%d", len(grid), len(grid[0]))
+	}
+	want := [][]string{{"a1", "a2"}, {"b1", "b2"}, {"c1", "c2"}}
+	for i := range want {
+		for j := range want[i] {
+			if grid[i][j] != want[i][j] {
+				t.Fatalf("grid[%d][%d] = %q, want %q", i, j, grid[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestBusyAccumulates(t *testing.T) {
+	ResetBusy()
+	Map(4, make([]struct{}, 64), func(i int, _ struct{}) int {
+		s := 0
+		for j := 0; j < 10000; j++ {
+			s += j
+		}
+		return s
+	})
+	if Busy() <= 0 {
+		t.Fatal("Busy did not accumulate job time")
+	}
+}

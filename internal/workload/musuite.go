@@ -9,14 +9,14 @@ package workload
 
 // Service IDs of the μSuite catalog.
 const (
-	MuLeafBucket = iota // HDSearch leaf: distance computations over one shard
-	MuLeafIntersect     // SetAlgebra leaf: posting-list intersection on one shard
-	MuLeafScore         // Recommend leaf: collaborative-filtering scorer
-	MuLeafLookup        // Router leaf: key-value shard lookup
-	MuHDSearch          // mid tier: image feature match over all buckets
-	MuSetAlgebra        // mid tier: set intersections across shards
-	MuRecommend         // mid tier: user/item scoring
-	MuRouter            // mid tier: replicated key-value routing
+	MuLeafBucket    = iota // HDSearch leaf: distance computations over one shard
+	MuLeafIntersect        // SetAlgebra leaf: posting-list intersection on one shard
+	MuLeafScore            // Recommend leaf: collaborative-filtering scorer
+	MuLeafLookup           // Router leaf: key-value shard lookup
+	MuHDSearch             // mid tier: image feature match over all buckets
+	MuSetAlgebra           // mid tier: set intersections across shards
+	MuRecommend            // mid tier: user/item scoring
+	MuRouter               // mid tier: replicated key-value routing
 	NumMuServices
 )
 

@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Repository gate: vet, build, race-clean tests, and a benchmark smoke run.
+# Usage: scripts/ci.sh [quick]
+#   quick  skips the race detector pass (slow on small machines).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+if [ "${1:-}" = "quick" ]; then
+    echo "== go test (short) =="
+    go test -short ./...
+else
+    echo "== go test =="
+    go test ./...
+    echo "== go test -race =="
+    go test -race ./...
+fi
+
+echo "== bench smoke (allocation + sweep benchmarks, 1 iteration) =="
+go test -run xxx -bench 'BenchmarkEngine|BenchmarkMachineRun' -benchtime 1x \
+    -benchmem ./internal/sim/ ./internal/machine/
+go test -run xxx -bench 'BenchmarkEndToEndGridWorkers' -benchtime 1x .
+
+echo "CI OK"
