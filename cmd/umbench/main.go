@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	umbench [-quick] [-seed N] [-parallel N] [-figures 1,2,3,...]
+//	umbench [-quick] [-seed N] [-parallel N] [-figures 1,2,3,...] [-json FILE]
 //
 // Figure names: 1 2 3 4 5 6 7 8 9 e2e 15 18 19 20 68 power. Default: all.
 // -parallel bounds the sweep worker pool (default: all cores); output is
@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +28,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced-fidelity settings (faster, noisier)")
 	flag.BoolVar(&ascii, "ascii", false, "render ASCII charts next to the tables")
+	flag.StringVar(&jsonOut, "json", "", "also write the e2e grid as JSON to FILE ('-' for stdout); latency objects use the stats.Summary encoding shared with umprof/umsim")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	parallel := flag.Int("parallel", 0, "sweep workers (<=0: all cores); results are identical for any value")
 	figures := flag.String("figures", "all", "comma-separated figure list (1..9, e2e, 15, 18, 19, 20, 68, power)")
@@ -114,6 +116,10 @@ func speedupNote(busy, wall time.Duration, workers int) string {
 
 // ascii enables chart rendering (set by the -ascii flag).
 var ascii bool
+
+// jsonOut, when non-empty, is where endToEnd writes its machine-readable
+// grid (set by the -json flag).
+var jsonOut string
 
 func header(title string) {
 	fmt.Println()
@@ -226,6 +232,34 @@ func endToEnd(o umanycore.ExperimentOptions) {
 				metric, red.Baseline, red.ByLoad[5000], red.ByLoad[10000], red.ByLoad[15000])
 		}
 	}
+	if jsonOut != "" {
+		if err := writeE2EJSON(jsonOut, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "umbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeE2EJSON emits the sorted e2e grid as a JSON array. Row fields encode
+// in declaration order and the latency objects via stats.Summary's stable
+// MarshalJSON, so the output is byte-identical run to run.
+func writeE2EJSON(path string, rows []umanycore.E2ERow) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	b, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
 }
 
 func fig15(o umanycore.ExperimentOptions) {

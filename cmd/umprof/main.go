@@ -1,0 +1,227 @@
+// Command umprof runs one traced simulation and prints the paper-style
+// tail-blame breakdown: for the slowest fraction of requests, where their
+// latency went — queueing, scheduling, context switches, memory stalls, RPC
+// processing, service compute, storage, and network transfer — attributed by
+// exact critical-path extraction through each request's span tree, so the
+// per-stage sums reconcile with the measured end-to-end latencies to the
+// picosecond.
+//
+// Examples:
+//
+//	umprof -arch serverclass -cores 40 -app CPost -rps 15000
+//	umprof -arch umanycore -mix -rps 20000 -top 5
+//	umprof -app HomeT -rps 12000 -trace out.json -spans spans.csv
+//	umprof -servers 10 -rps 100000 -json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"umanycore"
+	"umanycore/internal/obs"
+	"umanycore/internal/sim"
+	"umanycore/internal/workload"
+)
+
+func main() {
+	arch := flag.String("arch", "umanycore", "architecture: umanycore | scaleout | serverclass")
+	cores := flag.Int("cores", 40, "ServerClass core count")
+	appName := flag.String("app", "CPost", "application name or synthetic:<dist>:<mean_us>:<blocks>")
+	mix := flag.Bool("mix", false, "drive the full SocialNetwork request mix")
+	rps := flag.Float64("rps", 15000, "offered load (requests/second)")
+	duration := flag.Duration("duration", 400*time.Millisecond, "arrival window (simulated)")
+	warmup := flag.Duration("warmup", 80*time.Millisecond, "measurement warmup (simulated)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	servers := flag.Int("servers", 0, "run a fleet of N servers (0 = single machine); traces merge across servers")
+	top := flag.Float64("top", 1, "tail fraction to analyze, in percent (1 = slowest 1%)")
+	traceOut := flag.String("trace", "", "also write a Chrome/Perfetto trace-event JSON to FILE")
+	spansOut := flag.String("spans", "", "also write every span as CSV to FILE")
+	metricsOut := flag.String("metrics", "", "also write the metrics snapshot as CSV to FILE")
+	jsonOut := flag.Bool("json", false, "print the report as JSON instead of a table")
+	flag.Parse()
+
+	cfg, err := buildConfig(*arch, *cores)
+	if err != nil {
+		fatal(err)
+	}
+	app, err := buildApp(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	rc := umanycore.RunConfig{
+		App:      app,
+		RPS:      *rps,
+		Duration: sim.Time(duration.Nanoseconds()) * umanycore.Nanosecond,
+		Warmup:   sim.Time(warmup.Nanoseconds()) * umanycore.Nanosecond,
+		Seed:     *seed,
+		Obs:      umanycore.DefaultObs(),
+	}
+	if *mix {
+		rc.Mix = umanycore.SocialNetworkMix()
+	}
+
+	var orun *umanycore.ObsRun
+	var latency umanycore.Summary
+	var label string
+	if *servers > 0 {
+		fc := umanycore.DefaultFleet(cfg)
+		fc.Servers = *servers
+		fres := umanycore.RunFleet(fc, app, *rps, rc, *seed)
+		orun, latency = fres.Obs, fres.Latency
+		label = fmt.Sprintf("%s x%d servers", fres.Machine, *servers)
+	} else {
+		res := umanycore.Run(cfg, rc)
+		orun, latency = res.Obs, res.Latency
+		label = res.Machine
+	}
+
+	rep := umanycore.AnalyzeTail(orun.Spans, *top/100)
+
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, func(f *os.File) error {
+			catalog := app.Catalog
+			return obs.WriteChromeTrace(f, orun.Spans, func(svc int16) string {
+				if int(svc) >= 0 && int(svc) < len(catalog.Services) {
+					return catalog.Service(int(svc)).Name
+				}
+				return strconv.Itoa(int(svc))
+			})
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	if *spansOut != "" {
+		if err := writeFile(*spansOut, func(f *os.File) error {
+			return obs.WriteSpansCSV(f, orun.Spans)
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, func(f *os.File) error {
+			return obs.WriteMetricsCSV(f, orun.Metrics)
+		}); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *jsonOut {
+		printJSON(label, app.Name, *rps, latency, rep)
+		return
+	}
+	fmt.Printf("machine : %s\n", label)
+	fmt.Printf("workload: %s @ %.0f RPS%s\n", app.Name, *rps, mixTag(*mix))
+	fmt.Printf("latency : %s [us]\n\n", latency)
+	rep.WriteTable(os.Stdout)
+	// The traced p99 comes from the span trees alone; the measured p99 from
+	// the latency sample. Agreement is the layer's end-to-end cross-check.
+	fmt.Printf("\nreconcile: traced p99 %.1fus vs measured p99 %.1fus (diff %+.2f%%)\n",
+		rep.P99.Micros(), latency.P99, pctDiff(rep.P99.Micros(), latency.P99))
+}
+
+// printJSON emits the report as one stable-order JSON object; the latency
+// field uses stats.Summary's fixed-order marshaling shared with umsim/umbench.
+func printJSON(machineName, appName string, rps float64, latency umanycore.Summary, rep *umanycore.BlameReport) {
+	lat, err := latency.MarshalJSON()
+	if err != nil {
+		fatal(err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "{\"machine\":%q,\"app\":%q,\"rps\":%s,\"latency\":%s,",
+		machineName, appName, strconv.FormatFloat(rps, 'g', -1, 64), lat)
+	fmt.Fprintf(&b, "\"tail\":{\"top_frac\":%s,\"traced\":%d,\"analyzed\":%d,\"cutoff_us\":%.3f,\"traced_p99_us\":%.3f,\"by_stage_us\":{",
+		strconv.FormatFloat(rep.TopFrac, 'g', -1, 64), rep.Total, len(rep.Requests),
+		rep.Cutoff.Micros(), rep.P99.Micros())
+	first := true
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		d := rep.ByStage[st]
+		if d == 0 {
+			continue
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%q:%.3f", st.String(), d.Micros())
+	}
+	fmt.Fprintf(&b, "},\"residual_ps\":%d}}\n", int64(rep.Residual()))
+	os.Stdout.WriteString(b.String())
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func pctDiff(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * (a - b) / b
+}
+
+func buildConfig(arch string, cores int) (umanycore.Config, error) {
+	switch strings.ToLower(arch) {
+	case "umanycore", "umc":
+		return umanycore.UManycore(), nil
+	case "scaleout", "so":
+		return umanycore.ScaleOut(), nil
+	case "serverclass", "sc":
+		return umanycore.ServerClass(cores), nil
+	default:
+		return umanycore.Config{}, fmt.Errorf("unknown architecture %q", arch)
+	}
+}
+
+func buildApp(name string) (*umanycore.App, error) {
+	if strings.HasPrefix(name, "synthetic:") {
+		parts := strings.Split(name, ":")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("synthetic app format: synthetic:<dist>:<mean_us>:<blocks>")
+		}
+		mean, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad mean %q: %v", parts[2], err)
+		}
+		blocks, err := strconv.Atoi(parts[3])
+		if err != nil {
+			return nil, fmt.Errorf("bad block count %q: %v", parts[3], err)
+		}
+		return workload.SyntheticApp(parts[1], mean, blocks)
+	}
+	for _, a := range umanycore.SocialNetworkApps() {
+		if strings.EqualFold(a.Name, name) {
+			return a, nil
+		}
+	}
+	for _, a := range umanycore.MuSuiteApps() {
+		if strings.EqualFold(a.Name, name) {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown application %q (want one of %v)", name, workload.AppNames)
+}
+
+func mixTag(mix bool) string {
+	if mix {
+		return " (mixed SocialNetwork stream)"
+	}
+	return ""
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "umprof:", err)
+	os.Exit(2)
+}

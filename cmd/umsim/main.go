@@ -18,6 +18,7 @@ import (
 
 	"umanycore"
 	"umanycore/internal/machine"
+	"umanycore/internal/obs"
 	"umanycore/internal/sim"
 	"umanycore/internal/sweep"
 	"umanycore/internal/workload"
@@ -37,6 +38,8 @@ func main() {
 	csCycles := flag.Int("cs", -1, "override context-switch cycles (-1 = preset)")
 	noContention := flag.Bool("no-icn-contention", false, "disable ICN contention (Fig 7 baseline)")
 	replicates := flag.Int("replicates", 1, "independent replicates with derived seeds (run in parallel; reports the p99 spread)")
+	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON of replicate 0 to FILE")
+	metricsOut := flag.String("metrics", "", "write replicate 0's metrics snapshot as JSON to FILE (- = stdout)")
 	flag.Parse()
 
 	cfg, err := buildConfig(*arch, *cores)
@@ -82,14 +85,31 @@ func main() {
 	for i := 1; i < *replicates; i++ {
 		seeds[i] = sweep.Seed(*seed, fmt.Sprintf("replicate/%d", i))
 	}
+	// Observability is recorded for replicate 0 only — the seed the user
+	// asked for; extra replicates stay on the zero-overhead path.
+	obsOn := *traceOut != "" || *metricsOut != ""
 	start := time.Now()
-	results := sweep.Map(0, seeds, func(_ int, s int64) *umanycore.Result {
+	results := sweep.Map(0, seeds, func(i int, s int64) *umanycore.Result {
 		rrc := rc
 		rrc.Seed = s
+		if obsOn && i == 0 {
+			rrc.Obs = &umanycore.ObsOptions{Trace: *traceOut != "", Metrics: *metricsOut != ""}
+		}
 		return umanycore.Run(cfg, rrc)
 	})
 	elapsed := time.Since(start)
 	res := results[0]
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, res.Obs.Spans, app); err != nil {
+			fatal(err)
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, res); err != nil {
+			fatal(err)
+		}
+	}
 
 	fmt.Printf("machine      : %s (%d cores, %d domains, %s)\n", res.Machine, cfg.Cores, cfg.Domains, cfg.Topo)
 	fmt.Printf("workload     : %s @ %.0f RPS%s\n", res.App, res.RPS, mixTag(*mix))
@@ -172,6 +192,57 @@ func mixTag(mix bool) string {
 		return " (mixed SocialNetwork stream)"
 	}
 	return ""
+}
+
+// writeTrace dumps the recorded spans as Chrome trace-event JSON, loadable in
+// Perfetto or chrome://tracing.
+func writeTrace(path string, spans []umanycore.Span, app *umanycore.App) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	catalog := app.Catalog
+	name := func(svc int16) string {
+		if int(svc) >= 0 && int(svc) < len(catalog.Services) {
+			return catalog.Service(int(svc)).Name
+		}
+		return strconv.Itoa(int(svc))
+	}
+	if err := obs.WriteChromeTrace(f, spans, name); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeMetrics emits the run's metrics snapshot plus the latency summary as
+// one JSON object with stable key order.
+func writeMetrics(path string, res *umanycore.Result) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	lat, err := res.Latency.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "{\"machine\":%q,\"app\":%q,\"rps\":%s,\"latency\":%s,\"metrics\":{",
+		res.Machine, res.App, strconv.FormatFloat(res.RPS, 'g', -1, 64), lat)
+	for i, m := range res.Obs.Metrics {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q:%s", m.Name, strconv.FormatFloat(m.Value, 'g', -1, 64))
+	}
+	b.WriteString("}}\n")
+	_, err = w.WriteString(b.String())
+	return err
 }
 
 func fatal(err error) {

@@ -2,10 +2,16 @@
 // the §3 characterization inputs (Figs 2, 4, 5). It can emit raw records as
 // CSV or print the marginal statistics the paper reports.
 //
+// Data outputs (-csv, -load-cdf) go to stdout; the statistics report goes to
+// stderr, so `umtrace -csv > trace.csv` never mixes the two. A data flag
+// implies -stats=false unless -stats is given explicitly, in which case both
+// are emitted (CSV on stdout, stats on stderr) from the same record draw.
+//
 // Examples:
 //
-//	umtrace -requests 100000 -stats
+//	umtrace -requests 100000
 //	umtrace -requests 10000 -csv > trace.csv
+//	umtrace -requests 10000 -csv -stats > trace.csv   # stats on stderr too
 //	umtrace -servers 1000 -seconds 60 -load-cdf
 package main
 
@@ -25,20 +31,37 @@ func main() {
 	seconds := flag.Int("seconds", 100, "seconds of load per server")
 	seed := flag.Int64("seed", 1, "generator seed")
 	csv := flag.Bool("csv", false, "emit request records as CSV on stdout")
-	loadCDF := flag.Bool("load-cdf", false, "emit the per-second RPS CDF (Fig 2)")
-	showStats := flag.Bool("stats", true, "print marginal statistics")
+	loadCDF := flag.Bool("load-cdf", false, "emit the per-second RPS CDF (Fig 2) on stdout")
+	showStats := flag.Bool("stats", true, "print marginal statistics on stderr")
 	flag.Parse()
+
+	// Data outputs default the stats report off; an explicit -stats keeps it.
+	statsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "stats" {
+			statsSet = true
+		}
+	})
+	if (*csv || *loadCDF) && !statsSet {
+		*showStats = false
+	}
 
 	g := workload.NewTraceGen(*seed)
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
 
+	// One draw feeds both the CSV and the stats, so adding -stats to a -csv
+	// invocation reports on exactly the emitted records.
+	var recs []workload.TraceRecord
+	if *csv || *showStats {
+		recs = g.Requests(*n)
+	}
+
 	if *csv {
 		fmt.Fprintln(w, "duration_us,cpu_util,rpcs")
-		for _, r := range g.Requests(*n) {
+		for _, r := range recs {
 			fmt.Fprintf(w, "%.1f,%.4f,%d\n", r.DurationMicros, r.CPUUtil, r.RPCs)
 		}
-		return
 	}
 
 	if *loadCDF {
@@ -52,11 +75,11 @@ func main() {
 		for x := 0.0; x <= 2000; x += 50 {
 			fmt.Fprintf(w, "%.0f,%.4f\n", x, s.CDFAt(x))
 		}
-		return
 	}
 
 	if *showStats {
-		recs := g.Requests(*n)
+		e := bufio.NewWriter(os.Stderr)
+		defer e.Flush()
 		var dur, util, rpcs stats.Sample
 		short := 0
 		var longDur []float64
@@ -70,13 +93,13 @@ func main() {
 				longDur = append(longDur, r.DurationMicros)
 			}
 		}
-		fmt.Fprintf(w, "records                 : %d\n", *n)
-		fmt.Fprintf(w, "duration <1ms           : %.1f%% (paper: 36.7%%)\n", 100*float64(short)/float64(*n))
-		fmt.Fprintf(w, "geomean long duration   : %.2fms (paper: 2.8ms)\n", stats.GeoMean(longDur)/1000)
-		fmt.Fprintf(w, "median CPU utilization  : %.3f (paper: ~0.14)\n", util.Median())
-		fmt.Fprintf(w, "P99 CPU utilization     : %.3f (paper: <0.60)\n", util.P99())
-		fmt.Fprintf(w, "median RPCs per request : %.1f (paper: ~4.2)\n", rpcs.Median())
-		fmt.Fprintf(w, "frac with >=16 RPCs     : %.1f%% (paper: ~5%%)\n", 100*rpcs.FracAtLeast(16))
+		fmt.Fprintf(e, "records                 : %d\n", *n)
+		fmt.Fprintf(e, "duration <1ms           : %.1f%% (paper: 36.7%%)\n", 100*float64(short)/float64(*n))
+		fmt.Fprintf(e, "geomean long duration   : %.2fms (paper: 2.8ms)\n", stats.GeoMean(longDur)/1000)
+		fmt.Fprintf(e, "median CPU utilization  : %.3f (paper: ~0.14)\n", util.Median())
+		fmt.Fprintf(e, "P99 CPU utilization     : %.3f (paper: <0.60)\n", util.P99())
+		fmt.Fprintf(e, "median RPCs per request : %.1f (paper: ~4.2)\n", rpcs.Median())
+		fmt.Fprintf(e, "frac with >=16 RPCs     : %.1f%% (paper: ~5%%)\n", 100*rpcs.FracAtLeast(16))
 
 		var load stats.Sample
 		for i := 0; i < *servers; i++ {
@@ -84,8 +107,8 @@ func main() {
 				load.Add(float64(c))
 			}
 		}
-		fmt.Fprintf(w, "median server RPS       : %.0f (paper: ~500)\n", load.Median())
-		fmt.Fprintf(w, "frac seconds >=1000 RPS : %.1f%% (paper: ~20%%)\n", 100*load.FracAtLeast(1000))
-		fmt.Fprintf(w, "frac seconds >=1500 RPS : %.1f%% (paper: ~5%%)\n", 100*load.FracAtLeast(1500))
+		fmt.Fprintf(e, "median server RPS       : %.0f (paper: ~500)\n", load.Median())
+		fmt.Fprintf(e, "frac seconds >=1000 RPS : %.1f%% (paper: ~20%%)\n", 100*load.FracAtLeast(1000))
+		fmt.Fprintf(e, "frac seconds >=1500 RPS : %.1f%% (paper: ~5%%)\n", 100*load.FracAtLeast(1500))
 	}
 }

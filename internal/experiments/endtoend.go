@@ -13,16 +13,21 @@ import (
 // grid behind Figures 14 (tail), 16 (average) and 17 (tail-to-average).
 // Per §5, the server receives the full SocialNetwork request mix at the
 // given total RPS; each row reports one request type's latency within it.
+// Latency carries the full per-type summary; AvgMicros, TailMicros and
+// Completed are its Mean/P99/N kept as plain columns for the text tables,
+// so the JSON encoding elides them (Summary marshals with a stable field
+// order shared by umprof and umbench).
 type E2ERow struct {
-	App         string
-	RPS         float64
-	Arch        string
-	AvgMicros   float64
-	TailMicros  float64
-	TailToAvg   float64
-	Utilization float64
-	Completed   uint64
-	Unfinished  int64
+	App         string        `json:"app"`
+	RPS         float64       `json:"rps"`
+	Arch        string        `json:"arch"`
+	Latency     stats.Summary `json:"latency"`
+	AvgMicros   float64       `json:"-"`
+	TailMicros  float64       `json:"-"`
+	TailToAvg   float64       `json:"p99_to_avg"`
+	Utilization float64       `json:"util"`
+	Completed   uint64        `json:"-"`
+	Unfinished  int64         `json:"unfinished"`
 }
 
 // mixedRun drives one machine with the SocialNetwork mix at totalRPS, its
@@ -56,6 +61,7 @@ func EndToEnd(o Options) []E2ERow {
 					App:         catalog.Service(root).Name,
 					RPS:         rps,
 					Arch:        cfg.Name,
+					Latency:     sum,
 					AvgMicros:   sum.Mean,
 					TailMicros:  sum.P99,
 					TailToAvg:   ratio,

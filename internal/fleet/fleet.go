@@ -12,6 +12,7 @@ package fleet
 
 import (
 	"umanycore/internal/machine"
+	"umanycore/internal/obs"
 	"umanycore/internal/sim"
 	"umanycore/internal/stats"
 	"umanycore/internal/sweep"
@@ -31,6 +32,10 @@ type Config struct {
 	CrossServerFrac float64
 	// InterServerRTT is the server-to-server round trip (Table 2: 1μs).
 	InterServerRTT sim.Time
+	// Parallel caps the worker count for the per-server fan-out (0 = one
+	// worker per CPU). Results are identical for any value; tests use it to
+	// check merge order-independence.
+	Parallel int
 }
 
 // DefaultConfig returns the paper's 10-server fleet around the given
@@ -57,6 +62,9 @@ type Result struct {
 	MeanUtilization float64
 	// PerServer keeps the individual results.
 	PerServer []*machine.Result
+	// Obs merges the per-server observability runs (in server order) when
+	// the RunConfig enabled the layer; nil otherwise.
+	Obs *obs.Run
 }
 
 // Run drives the fleet at totalRPS (split evenly across servers) and merges
@@ -79,7 +87,7 @@ func Run(fc Config, app *workload.App, totalRPS float64, rc machine.RunConfig, s
 	for s := range servers {
 		servers[s] = s
 	}
-	perServer := sweep.Map(0, servers, func(_ int, s int) *machine.Result {
+	perServer := sweep.Map(fc.Parallel, servers, func(_ int, s int) *machine.Result {
 		srun := rc
 		srun.App = app
 		srun.RPS = totalRPS / float64(fc.Servers)
@@ -100,5 +108,14 @@ func Run(fc Config, app *workload.App, totalRPS float64, rc machine.RunConfig, s
 	out.Latency = merged.Summarize()
 	out.TailToAvg = merged.TailToAvg()
 	out.MeanUtilization = utilSum / float64(fc.Servers)
+	if rc.Obs != nil {
+		// Per-worker collectors merge on the reassembled (server-order)
+		// results, so the fleet trace is identical for any Parallel value.
+		runs := make([]*obs.Run, len(perServer))
+		for i, res := range perServer {
+			runs[i] = res.Obs
+		}
+		out.Obs = obs.Merge(runs)
+	}
 	return out
 }

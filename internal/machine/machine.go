@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"umanycore/internal/icn"
+	"umanycore/internal/obs"
 	"umanycore/internal/rpcnet"
 	"umanycore/internal/rq"
 	"umanycore/internal/sim"
@@ -46,6 +47,11 @@ type Machine struct {
 	hopSum        uint64
 	msgCount      uint64
 
+	// Observability (nil/zero when disabled — see EnableObs in obs.go).
+	trace *obs.Collector
+	mx    *machineMetrics
+	qlen  int // runnable invocations queued machine-wide (metrics only)
+
 	invSeq uint64
 }
 
@@ -71,6 +77,9 @@ type core struct {
 	dom  *domain
 	id   int
 	busy bool
+	// busyTime accumulates this core's occupied time, the per-core split of
+	// Machine.coreBusy used by the utilization-spread metrics.
+	busyTime sim.Time
 	// svcID is the core's assigned Service ID register (§4.1); -1 serves
 	// any service (the default when a village hosts one instance).
 	svcID int
@@ -98,6 +107,10 @@ type invocation struct {
 	dispatched bool
 	// measured marks roots that arrived after warmup.
 	measured bool
+	// span is this invocation's envelope span ID, 0 when untraced.
+	span uint64
+	// enqAt is when the invocation last became runnable (queue-wait start).
+	enqAt sim.Time
 }
 
 // New builds a machine on the given engine serving a single request type.
@@ -363,6 +376,12 @@ func (m *Machine) SubmitRoot() {
 	if m.cfg.IOViaICN {
 		at, _ = m.ioDeliverIn(at, dom.endpoint, m.cfg.ReqMsgBytes)
 	}
+	if m.trace != nil && inv.measured {
+		inv.span = m.trace.StartRoot(inv.id, int16(inv.svc.ID), now)
+		if at > now {
+			m.trace.Add(inv.span, obs.StageIngress, now, at)
+		}
+	}
 	m.eng.At(at, func() { m.enqueue(inv) })
 }
 
@@ -393,6 +412,9 @@ func (m *Machine) nextInv() uint64 {
 // enqueue deposits a ready invocation in its domain's queue.
 func (m *Machine) enqueue(inv *invocation) {
 	dom := inv.dom
+	if inv.span != 0 {
+		inv.enqAt = m.eng.Now()
+	}
 	if dom.hwq != nil {
 		e := dom.hwq.Enqueue(inv.svc.ID, &rq.Context{RequestID: inv.id, UserData: inv})
 		if e == nil {
@@ -400,8 +422,16 @@ func (m *Machine) enqueue(inv *invocation) {
 				m.reject(inv)
 				return
 			}
+			if m.mx != nil {
+				m.mx.admitNICBuf.Inc()
+				m.observeQueueDepth(1)
+			}
 		} else {
 			inv.entry = e
+			if m.mx != nil {
+				m.mx.admitRQ.Inc()
+				m.observeQueueDepth(1)
+			}
 		}
 		m.kick(dom)
 		return
@@ -413,6 +443,10 @@ func (m *Machine) enqueue(inv *invocation) {
 	grant := dom.sched.Acquire(m.eng.Now(), enqCost)
 	m.eng.At(grant, func() {
 		dom.swq = append(dom.swq, inv)
+		if m.mx != nil {
+			m.mx.admitSWQ.Inc()
+			m.observeQueueDepth(1)
+		}
 		m.kick(dom)
 	})
 }
@@ -421,6 +455,17 @@ func (m *Machine) enqueue(inv *invocation) {
 // (§4.3). A rejected child still answers its parent so the tree terminates.
 func (m *Machine) reject(inv *invocation) {
 	m.Rejected++
+	if m.mx != nil {
+		m.mx.admitReject.Inc()
+	}
+	if inv.span != 0 {
+		// The flag excludes the request tree from tail analysis; a rejected
+		// child's span still closes in respond so containment holds.
+		m.trace.Flag(inv.span, obs.FlagRejected)
+		if inv.parent == nil {
+			m.trace.End(inv.span, m.eng.Now())
+		}
+	}
 	if inv.parent != nil {
 		m.respond(inv)
 	} else {
@@ -527,6 +572,9 @@ func (m *Machine) pop(c *core) (*invocation, sim.Time) {
 			e = dom.hwq.Dequeue(-1, c.id)
 		}
 		if e != nil {
+			if m.mx != nil {
+				m.observeQueueDepth(-1)
+			}
 			grant := dom.sched.Acquire(now, cost)
 			return e.Ctx.UserData.(*invocation), grant
 		}
@@ -535,6 +583,9 @@ func (m *Machine) pop(c *core) (*invocation, sim.Time) {
 	if len(dom.swq) > 0 {
 		inv := dom.swq[0]
 		dom.swq = dom.swq[1:]
+		if m.mx != nil {
+			m.observeQueueDepth(-1)
+		}
 		grant := dom.sched.Acquire(now, cost)
 		return inv, grant
 	}
@@ -551,6 +602,9 @@ func (m *Machine) pop(c *core) (*invocation, sim.Time) {
 		if victim != nil {
 			inv := victim.swq[0]
 			victim.swq = victim.swq[1:]
+			if m.mx != nil {
+				m.observeQueueDepth(-1)
+			}
 			steal := m.cfg.CyclesToTime(m.cfg.Policy.StealCycles)
 			grant := victim.sched.Acquire(now, cost+steal)
 			// The stolen invocation migrates to this core's domain.
@@ -582,7 +636,9 @@ func (m *Machine) dispatch(c *core) {
 		// path has no entry.
 		panic("machine: dequeued entry not running")
 	}
+	popAt := m.eng.Now()
 	start := readyAt
+	csEnd, memEnd := start, start
 	// Restore saved state (hardware or software context switch).
 	if inv.resumed {
 		cs := m.cfg.CyclesToTime(m.cfg.Policy.CSCycles)
@@ -591,6 +647,7 @@ func (m *Machine) dispatch(c *core) {
 		} else {
 			start += cs
 		}
+		csEnd = start
 		// Migration/coherence penalty when resuming on a different core.
 		if inv.lastCore >= 0 && inv.lastCore != c.id {
 			if m.cfg.GlobalCoherence {
@@ -600,6 +657,7 @@ func (m *Machine) dispatch(c *core) {
 				start += m.cfg.CyclesToTime(m.cfg.VillageResumePenaltyCycles)
 			}
 		}
+		memEnd = start
 	}
 	// RPC-layer processing on first dispatch (software stacks only; the
 	// hardware NIC did it off-core).
@@ -619,7 +677,27 @@ func (m *Machine) dispatch(c *core) {
 	}
 	dur := sim.FromMicros(op.Time.Sample(m.eng.Rand("service")) / m.perfOf(c.dom))
 	end := start + dur
-	m.coreBusy += end - m.eng.Now()
+	if inv.span != 0 {
+		if popAt > inv.enqAt {
+			m.trace.Add(inv.span, obs.StageQueue, inv.enqAt, popAt)
+		}
+		if readyAt > popAt {
+			m.trace.Add(inv.span, obs.StageSched, popAt, readyAt)
+		}
+		if csEnd > readyAt {
+			m.trace.Add(inv.span, obs.StageCS, readyAt, csEnd)
+		}
+		if memEnd > csEnd {
+			m.trace.Add(inv.span, obs.StageMem, csEnd, memEnd)
+		}
+		if start > memEnd {
+			m.trace.Add(inv.span, obs.StageRPC, memEnd, start)
+		}
+		m.trace.AddOnCore(inv.span, obs.StageService, c.id, start, end)
+	}
+	busy := end - popAt
+	m.coreBusy += busy
+	c.busyTime += busy
 	m.eng.At(end, func() { m.segmentEnd(c, inv) })
 }
 
@@ -645,19 +723,27 @@ func (m *Machine) segmentEnd(c *core, inv *invocation) {
 	case workload.OpCompute:
 		// Back-to-back compute (no blocking op between): keep running.
 		dur := sim.FromMicros(op.Time.Sample(m.eng.Rand("service")) / m.perfOf(c.dom))
+		if inv.span != 0 {
+			now := m.eng.Now()
+			m.trace.AddOnCore(inv.span, obs.StageService, c.id, now, now+dur)
+		}
 		m.coreBusy += dur
+		c.busyTime += dur
 		m.eng.After(dur, func() { m.segmentEnd(c, inv) })
 	case workload.OpStorage:
 		inv.opIdx++
 		saved := m.block(c, inv, 1)
 		var lat sim.Time
+		var retries uint32
 		if len(m.storageNIC) > 0 {
 			// Lossy external storage network: the R-NIC handles pacing,
 			// retransmission, and congestion control; its delivery time
 			// already includes the base RTT.
 			nic := m.storageNIC[inv.dom.endpoint]
 			rng := m.eng.Rand("storage-loss")
+			before := nic.Retransmit
 			delivered := nic.Send(saved, m.cfg.StorageReqBytes, rng.Float64)
+			retries = uint32(nic.Retransmit - before)
 			lat = delivered - saved + sim.FromMicros(op.Time.Sample(m.eng.Rand("storage")))
 		} else {
 			lat = m.cfg.StorageRTT + sim.FromMicros(op.Time.Sample(m.eng.Rand("storage")))
@@ -669,14 +755,36 @@ func (m *Machine) segmentEnd(c *core, inv *invocation) {
 			back, hops2 := m.ioDeliverIn(out+lat, inv.dom.endpoint, m.cfg.StorageRespBytes)
 			m.hopSum += uint64(hops1 + hops2)
 			m.msgCount += 2
+			if inv.span != 0 {
+				if out > saved {
+					m.trace.Add(inv.span, obs.StageNet, saved, out)
+				}
+				sid := m.trace.Add(inv.span, obs.StageStorage, out, out+lat)
+				m.trace.AddRetries(sid, retries)
+				if back > out+lat {
+					m.trace.Add(inv.span, obs.StageNet, out+lat, back)
+				}
+			}
 			m.eng.At(back, func() { m.resolveChild(inv) })
 		} else {
+			if inv.span != 0 {
+				sid := m.trace.Add(inv.span, obs.StageStorage, saved, saved+lat)
+				m.trace.AddRetries(sid, retries)
+			}
 			m.eng.At(saved+lat, func() { m.resolveChild(inv) })
 		}
 	case workload.OpCall:
 		inv.opIdx++
 		callees := op.Callees
 		saved := m.block(c, inv, len(callees))
+		if inv.span != 0 && len(callees) > 0 {
+			// One send-processing span for the batch: every child departs
+			// after the same per-call tax, so per-child copies would only
+			// duplicate the interval.
+			if dep := saved + m.cfg.CyclesToTime(m.cfg.SendProcCycles); dep > saved {
+				m.trace.Add(inv.span, obs.StageRPC, saved, dep)
+			}
+		}
 		for _, svcID := range callees {
 			m.sendChild(c, inv, svcID, saved)
 		}
@@ -702,7 +810,11 @@ func (m *Machine) block(c *core, inv *invocation, n int) sim.Time {
 	if inv.entry != nil {
 		c.dom.hwq.ContextSwitch(inv.entry, 320)
 	}
+	if inv.span != 0 && saved > now {
+		m.trace.Add(inv.span, obs.StageCS, now, saved)
+	}
 	m.coreBusy += saved - now
+	c.busyTime += saved - now
 	m.eng.At(saved, func() { m.release(c) })
 	return saved
 }
@@ -740,6 +852,12 @@ func (m *Machine) sendChild(c *core, parent *invocation, svcID int, saved sim.Ti
 	if m.cfg.RemoteCallFrac > 0 && rng.Float64() < m.cfg.RemoteCallFrac {
 		child.remote = true
 		at += m.cfg.RemoteRTT / 2
+	}
+	if parent.span != 0 {
+		child.span = m.trace.Start(parent.span, obs.StageInvoke, int16(svcID), dep)
+		if at > dep {
+			m.trace.Add(child.span, obs.StageNet, dep, at)
+		}
 	}
 	m.eng.At(at, func() { m.enqueue(child) })
 }
@@ -807,8 +925,14 @@ func (m *Machine) resolveChild(parent *invocation) {
 // unblock makes a blocked invocation runnable again in its domain.
 func (m *Machine) unblock(inv *invocation) {
 	dom := inv.dom
+	if inv.span != 0 {
+		inv.enqAt = m.eng.Now()
+	}
 	if inv.entry != nil {
 		dom.hwq.Unblock(inv.entry)
+		if m.mx != nil {
+			m.observeQueueDepth(1)
+		}
 		m.kick(dom)
 		return
 	}
@@ -817,6 +941,9 @@ func (m *Machine) unblock(inv *invocation) {
 	grant := dom.sched.Acquire(m.eng.Now(), enqCost)
 	m.eng.At(grant, func() {
 		dom.swq = append(dom.swq, inv)
+		if m.mx != nil {
+			m.observeQueueDepth(1)
+		}
 		m.kick(dom)
 	})
 }
@@ -841,10 +968,17 @@ func (m *Machine) complete(c *core, inv *invocation) {
 func (m *Machine) respond(inv *invocation) {
 	rng := m.eng.Rand("icn")
 	if inv.parent == nil {
-		at := m.eng.Now() + m.cfg.IngressLatency
+		now := m.eng.Now()
+		at := now + m.cfg.IngressLatency
 		if m.cfg.IOViaICN {
-			at, _ = m.ioDeliverOut(m.eng.Now(), inv.dom.endpoint, m.cfg.RespMsgBytes)
+			at, _ = m.ioDeliverOut(now, inv.dom.endpoint, m.cfg.RespMsgBytes)
 			at += m.cfg.IngressLatency
+		}
+		if inv.span != 0 {
+			if at > now {
+				m.trace.Add(inv.span, obs.StageIngress, now, at)
+			}
+			m.trace.End(inv.span, at)
 		}
 		if inv.measured {
 			done := at
@@ -874,6 +1008,12 @@ func (m *Machine) respond(inv *invocation) {
 	at += m.cfg.NICHWDelay
 	if inv.remote {
 		at += m.cfg.RemoteRTT / 2
+	}
+	if inv.span != 0 {
+		if at > m.eng.Now() {
+			m.trace.Add(inv.span, obs.StageNet, m.eng.Now(), at)
+		}
+		m.trace.End(inv.span, at)
 	}
 	m.eng.At(at, func() { m.resolveChild(parent) })
 }

@@ -5,6 +5,7 @@ import (
 
 	"umanycore/internal/dist"
 	"umanycore/internal/icn"
+	"umanycore/internal/obs"
 	"umanycore/internal/sim"
 	"umanycore/internal/stats"
 	"umanycore/internal/workload"
@@ -44,6 +45,10 @@ type RunConfig struct {
 	Arrivals ArrivalKind
 	// Seed drives all randomness.
 	Seed int64
+	// Obs, when non-nil, enables the observability layer for this run; the
+	// recorded spans and metrics land in Result.Obs. Nil keeps every
+	// instrumentation site on its zero-cost disabled path.
+	Obs *obs.Options
 }
 
 // normalized fills defaults.
@@ -91,6 +96,9 @@ type Result struct {
 	MaxLinkUtil float64
 	// Events is the simulation event count (performance reporting).
 	Events uint64
+	// Obs carries the run's spans and metrics snapshot when RunConfig.Obs
+	// enabled the observability layer; nil otherwise.
+	Obs *obs.Run
 }
 
 // enginePool recycles simulation engines across runs: replicate loops (grid
@@ -105,6 +113,9 @@ var enginePool = sync.Pool{
 func Run(cfg Config, rc RunConfig) *Result {
 	rc = rc.normalized()
 	eng := enginePool.Get().(*sim.Engine)
+	if eng.Resets() > 0 || eng.Fired() > 0 {
+		engineReuse.Add(1)
+	}
 	eng.Reset(rc.Seed)
 	defer enginePool.Put(eng)
 	var m *Machine
@@ -114,6 +125,18 @@ func Run(cfg Config, rc RunConfig) *Result {
 		m = New(eng, cfg, rc.App)
 	}
 	m.SetMeasureFrom(rc.Warmup)
+
+	var col *obs.Collector
+	var reg *obs.Registry
+	if rc.Obs != nil {
+		if rc.Obs.Trace {
+			col = obs.NewCollector()
+		}
+		if rc.Obs.Metrics {
+			reg = obs.NewRegistry()
+		}
+		m.EnableObs(col, reg)
+	}
 
 	var arrivalGap func() sim.Time
 	switch rc.Arrivals {
@@ -175,6 +198,16 @@ func Run(cfg Config, rc RunConfig) *Result {
 		MeanHops:    m.MeanHops(),
 		MaxLinkUtil: icn.MaxUtilization(m.topo, rc.Duration),
 		Events:      eng.Fired(),
+	}
+	if rc.Obs != nil {
+		m.finishMetrics(eng, rc.Duration)
+		res.Obs = &obs.Run{}
+		if col != nil {
+			res.Obs.Spans = col.Spans()
+		}
+		if reg != nil {
+			res.Obs.Metrics = reg.Snapshot(eng.Now())
+		}
 	}
 	return res
 }

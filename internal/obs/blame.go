@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"umanycore/internal/sim"
+)
+
+// RequestBlame attributes one request's end-to-end latency to stages by
+// exact critical-path extraction through its span tree: walking backwards
+// from the request's completion, the last-finishing child at every level is
+// the critical one, its interval recurses, and gaps between children belong
+// to the enclosing span's stage. The per-stage times sum to the request's
+// latency exactly (integer picosecond arithmetic, no estimation).
+type RequestBlame struct {
+	// Req is the root request's invocation ID.
+	Req uint64
+	// SvcID is the root service (request type).
+	SvcID int16
+	// Latency is the end-to-end latency (root span length).
+	Latency sim.Time
+	// ByStage is the critical-path time attributed to each stage;
+	// sums to Latency.
+	ByStage [NumStages]sim.Time
+}
+
+// Report is the paper-style tail-blame breakdown (§3, Figs 10/15 style) for
+// the slowest fraction of traced requests.
+type Report struct {
+	// TopFrac is the analyzed tail fraction (0.01 = slowest 1%).
+	TopFrac float64
+	// Total is the number of finished, clean traced requests.
+	Total int
+	// Cutoff is the smallest latency among analyzed requests.
+	Cutoff sim.Time
+	// P99 is the 99th percentile latency over all traced requests.
+	P99 sim.Time
+	// ByStage sums critical-path time per stage over analyzed requests.
+	ByStage [NumStages]sim.Time
+	// Requests lists the analyzed requests, slowest first.
+	Requests []RequestBlame
+}
+
+// Analyze extracts the tail-blame report for the slowest topFrac of finished
+// requests in spans (at least one request when any finished). Open-ended or
+// rejected request trees are excluded. The result is a pure function of the
+// spans, so it inherits the trace's determinism.
+func Analyze(spans []Span, topFrac float64) *Report {
+	if topFrac <= 0 || topFrac > 1 {
+		topFrac = 0.01
+	}
+	rep := &Report{TopFrac: topFrac}
+	index := make(map[uint64]int, len(spans))
+	children := make(map[uint64][]int)
+	var roots []int
+	for i := range spans {
+		s := &spans[i]
+		index[s.ID] = i
+		if s.Parent != 0 {
+			children[s.Parent] = append(children[s.Parent], i)
+			continue
+		}
+		if s.Stage == StageRequest && s.End > s.Start && s.Flags == 0 {
+			roots = append(roots, i)
+		}
+	}
+	// Child walk order: ascending End (ties by Start then ID), so the
+	// backward critical-path scan sees the last-finishing child first.
+	for _, kids := range children {
+		sort.Slice(kids, func(a, b int) bool {
+			ka, kb := &spans[kids[a]], &spans[kids[b]]
+			if ka.End != kb.End {
+				return ka.End < kb.End
+			}
+			if ka.Start != kb.Start {
+				return ka.Start < kb.Start
+			}
+			return ka.ID < kb.ID
+		})
+	}
+	rep.Total = len(roots)
+	if rep.Total == 0 {
+		return rep
+	}
+	// Slowest first; ties broken by request ID for determinism.
+	sort.Slice(roots, func(a, b int) bool {
+		ra, rb := &spans[roots[a]], &spans[roots[b]]
+		da, db := ra.Dur(), rb.Dur()
+		if da != db {
+			return da > db
+		}
+		return ra.Req < rb.Req
+	})
+	p99Rank := int(math.Ceil(0.99*float64(len(roots)))) - 1
+	if p99Rank < 0 {
+		p99Rank = 0
+	}
+	rep.P99 = spans[roots[len(roots)-1-p99Rank]].Dur()
+	k := int(math.Ceil(topFrac * float64(len(roots))))
+	if k < 1 {
+		k = 1
+	}
+	for _, ri := range roots[:k] {
+		root := &spans[ri]
+		rb := RequestBlame{Req: root.Req, SvcID: root.SvcID, Latency: root.Dur()}
+		criticalWalk(spans, children, ri, root.Start, root.End, &rb.ByStage)
+		for st, d := range rb.ByStage {
+			rep.ByStage[st] += d
+		}
+		rep.Requests = append(rep.Requests, rb)
+	}
+	rep.Cutoff = rep.Requests[len(rep.Requests)-1].Latency
+	return rep
+}
+
+// criticalWalk attributes the interval [from, to] of span idx: gaps not
+// covered by a critical child go to the span's own stage (envelope spans
+// map to StageOther), covered intervals recurse into the child that
+// finished last. Attribution telescopes, so the stage sums equal to-from.
+func criticalWalk(spans []Span, children map[uint64][]int, idx int, from, to sim.Time, out *[NumStages]sim.Time) {
+	sp := &spans[idx]
+	stage := sp.Stage
+	if stage == StageRequest || stage == StageInvoke {
+		stage = StageOther
+	}
+	t := to
+	kids := children[sp.ID]
+	for i := len(kids) - 1; i >= 0 && t > from; i-- {
+		k := &spans[kids[i]]
+		if k.End <= k.Start {
+			continue // open or empty span: nothing to attribute
+		}
+		if k.End > t {
+			continue // finished after the critical point: not on the path
+		}
+		if k.End <= from {
+			break // sorted by End: everything earlier is out of range too
+		}
+		out[stage] += t - k.End
+		lo := k.Start
+		if lo < from {
+			lo = from
+		}
+		criticalWalk(spans, children, kids[i], lo, k.End, out)
+		t = lo
+	}
+	if t > from {
+		out[stage] += t - from
+	}
+}
+
+// TotalLatency sums the analyzed requests' end-to-end latencies.
+func (r *Report) TotalLatency() sim.Time {
+	var t sim.Time
+	for _, rb := range r.Requests {
+		t += rb.Latency
+	}
+	return t
+}
+
+// Residual is TotalLatency minus the stage sums — zero by construction; a
+// nonzero residual means the span tree violated an invariant.
+func (r *Report) Residual() sim.Time {
+	t := r.TotalLatency()
+	for _, d := range r.ByStage {
+		t -= d
+	}
+	return t
+}
+
+// blameOrder is the row order of the breakdown table: pipeline stages first,
+// untracked residual last. Envelope stages never accumulate blame directly.
+var blameOrder = []Stage{
+	StageIngress, StageQueue, StageSched, StageCS, StageMem,
+	StageRPC, StageService, StageStorage, StageNet, StageOther,
+}
+
+// WriteTable prints the paper-style per-stage breakdown of the analyzed
+// tail, with a reconciliation line against the end-to-end total.
+func (r *Report) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "tail blame: slowest %.1f%% of %d traced requests (%d analyzed, cutoff %.1fus, traced p99 %.1fus)\n",
+		100*r.TopFrac, r.Total, len(r.Requests), r.Cutoff.Micros(), r.P99.Micros())
+	if len(r.Requests) == 0 {
+		fmt.Fprintln(w, "  (no finished traced requests)")
+		return
+	}
+	total := r.TotalLatency()
+	n := float64(len(r.Requests))
+	fmt.Fprintf(w, "%-11s %14s %14s %8s\n", "stage", "total [us]", "per-req [us]", "share")
+	for _, st := range blameOrder {
+		d := r.ByStage[st]
+		if d == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-11s %14.1f %14.1f %7.1f%%\n",
+			st, d.Micros(), d.Micros()/n, 100*float64(d)/float64(total))
+	}
+	fmt.Fprintf(w, "%-11s %14.1f %14.1f %7.1f%%  (residual %dps)\n",
+		"end-to-end", total.Micros(), total.Micros()/n, 100.0, int64(r.Residual()))
+}

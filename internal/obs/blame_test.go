@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"umanycore/internal/sim"
+)
+
+// buildTree records a request with two parallel child invocations plus local
+// stage spans, exercising gap attribution and critical-path selection:
+//
+//	request [0, 100]
+//	  queue   [0, 10]
+//	  service [10, 20]
+//	  invoke A [20, 50]   (finishes first — off the critical path)
+//	    service [22, 48]
+//	  invoke B [20, 90]   (finishes last — critical)
+//	    net     [20, 30]
+//	    service [30, 80]
+//	    net     [80, 90]
+//	  service [90, 100]
+func buildTree(c *Collector) {
+	root := c.StartRoot(1, 0, 0)
+	c.Add(root, StageQueue, 0, 10)
+	c.Add(root, StageService, 10, 20)
+	a := c.Start(root, StageInvoke, 1, 20)
+	c.Add(a, StageService, 22, 48)
+	c.End(a, 50)
+	b := c.Start(root, StageInvoke, 2, 20)
+	c.Add(b, StageNet, 20, 30)
+	c.Add(b, StageService, 30, 80)
+	c.Add(b, StageNet, 80, 90)
+	c.End(b, 90)
+	c.Add(root, StageService, 90, 100)
+	c.End(root, 100)
+}
+
+func TestAnalyzeCriticalPath(t *testing.T) {
+	c := NewCollector()
+	buildTree(c)
+	rep := Analyze(c.Spans(), 1)
+	if rep.Total != 1 || len(rep.Requests) != 1 {
+		t.Fatalf("analyzed %d/%d requests, want 1/1", len(rep.Requests), rep.Total)
+	}
+	rb := rep.Requests[0]
+	if rb.Latency != 100 {
+		t.Fatalf("latency = %v, want 100", rb.Latency)
+	}
+	// Critical path: queue 10 + service 10 + B's net 10 + B's service 50 +
+	// B's net 10 + root service 10 = 100. Invoke A contributes nothing.
+	want := [NumStages]sim.Time{}
+	want[StageQueue] = 10
+	want[StageService] = 70
+	want[StageNet] = 20
+	if rb.ByStage != want {
+		t.Fatalf("ByStage = %v, want %v", rb.ByStage, want)
+	}
+	if rep.Residual() != 0 {
+		t.Fatalf("residual = %v, want 0", rep.Residual())
+	}
+}
+
+func TestAnalyzeGapsGoToEnvelope(t *testing.T) {
+	c := NewCollector()
+	// A root with one child span covering [40, 60] of a [0, 100] request:
+	// the uncovered 80 units are the envelope's own (StageOther) time.
+	root := c.StartRoot(1, 0, 0)
+	c.Add(root, StageService, 40, 60)
+	c.End(root, 100)
+	rep := Analyze(c.Spans(), 1)
+	rb := rep.Requests[0]
+	if rb.ByStage[StageOther] != 80 || rb.ByStage[StageService] != 20 {
+		t.Fatalf("ByStage = %v, want other=80 service=20", rb.ByStage)
+	}
+	if rep.Residual() != 0 {
+		t.Fatalf("residual = %v, want 0", rep.Residual())
+	}
+}
+
+func TestAnalyzeExcludesOpenAndRejected(t *testing.T) {
+	c := NewCollector()
+	buildTree(c) // clean request 1
+	open := c.StartRoot(2, 0, 0)
+	c.Add(open, StageQueue, 0, 5) // request 2 never finishes
+	rej := c.StartRoot(3, 0, 0)
+	c.Flag(rej, FlagRejected)
+	c.End(rej, 7) // request 3 was rejected
+	_ = open
+	rep := Analyze(c.Spans(), 1)
+	if rep.Total != 1 {
+		t.Fatalf("Total = %d, want 1 (open and rejected roots excluded)", rep.Total)
+	}
+}
+
+func TestAnalyzeTopFraction(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < 200; i++ {
+		root := c.StartRoot(uint64(i+1), 0, 0)
+		c.End(root, sim.Time(100+i)) // latencies 100..299
+	}
+	rep := Analyze(c.Spans(), 0.01)
+	if rep.Total != 200 {
+		t.Fatalf("Total = %d, want 200", rep.Total)
+	}
+	if len(rep.Requests) != 2 {
+		t.Fatalf("analyzed %d, want ceil(0.01*200)=2", len(rep.Requests))
+	}
+	if rep.Requests[0].Latency != 299 || rep.Requests[1].Latency != 298 {
+		t.Fatalf("top-2 latencies = %v,%v want 299,298",
+			rep.Requests[0].Latency, rep.Requests[1].Latency)
+	}
+	// Nearest-rank p99 of 100..299 is the 198th value = 297.
+	if rep.P99 != 297 {
+		t.Fatalf("P99 = %v, want 297", rep.P99)
+	}
+	if rep.Cutoff != 298 {
+		t.Fatalf("Cutoff = %v, want 298", rep.Cutoff)
+	}
+}
+
+func TestWriteTableReconciles(t *testing.T) {
+	c := NewCollector()
+	buildTree(c)
+	rep := Analyze(c.Spans(), 1)
+	var sb strings.Builder
+	rep.WriteTable(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "residual 0ps") {
+		t.Fatalf("table missing zero residual:\n%s", out)
+	}
+	if !strings.Contains(out, "100.0%") {
+		t.Fatalf("table missing 100%% end-to-end line:\n%s", out)
+	}
+}
+
+func TestMergeRebasesIDs(t *testing.T) {
+	c1 := NewCollector()
+	buildTree(c1)
+	c2 := NewCollector()
+	buildTree(c2)
+	merged := Merge([]*Run{{Spans: c1.Spans()}, {Spans: c2.Spans()}})
+	if len(merged.Spans) != c1.Len()+c2.Len() {
+		t.Fatalf("merged %d spans, want %d", len(merged.Spans), c1.Len()+c2.Len())
+	}
+	seen := make(map[uint64]bool)
+	reqs := make(map[uint64]bool)
+	for _, s := range merged.Spans {
+		if seen[s.ID] {
+			t.Fatalf("duplicate span ID %d after merge", s.ID)
+		}
+		seen[s.ID] = true
+		reqs[s.Req] = true
+		if s.Parent != 0 && !seen[s.Parent] {
+			// Parents are recorded before children in both collectors, so
+			// re-based parents must stay resolvable.
+			t.Fatalf("span %d references unseen parent %d", s.ID, s.Parent)
+		}
+	}
+	if len(reqs) != 2 {
+		t.Fatalf("merged requests = %d, want 2 (IDs re-based)", len(reqs))
+	}
+	// Both requests must still analyze cleanly after re-basing.
+	rep := Analyze(merged.Spans, 1)
+	if rep.Total != 2 || rep.Residual() != 0 {
+		t.Fatalf("merged analyze: total=%d residual=%v, want 2, 0", rep.Total, rep.Residual())
+	}
+}

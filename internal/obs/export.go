@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WriteChromeTrace emits spans in Chrome trace-event JSON, loadable by
+// Perfetto (ui.perfetto.dev) and chrome://tracing. Each request tree becomes
+// one track (tid = request ID); timestamps are virtual microseconds, so the
+// output is deterministic. svcName resolves service IDs to names for
+// envelope spans (nil falls back to numeric IDs). Open spans are skipped.
+func WriteChromeTrace(w io.Writer, spans []Span, svcName func(int16) string) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`)
+	first := true
+	var buf []byte
+	for i := range spans {
+		s := &spans[i]
+		if s.End <= s.Start {
+			continue
+		}
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		buf = buf[:0]
+		buf = append(buf, `{"name":"`...)
+		buf = append(buf, spanName(s, svcName)...)
+		buf = append(buf, `","cat":"`...)
+		buf = append(buf, s.Stage.String()...)
+		buf = append(buf, `","ph":"X","pid":1,"tid":`...)
+		buf = strconv.AppendUint(buf, s.Req, 10)
+		buf = append(buf, `,"ts":`...)
+		buf = appendMicros(buf, float64(s.Start)/1e6)
+		buf = append(buf, `,"dur":`...)
+		buf = appendMicros(buf, float64(s.End-s.Start)/1e6)
+		buf = append(buf, `,"args":{"span":`...)
+		buf = strconv.AppendUint(buf, s.ID, 10)
+		buf = append(buf, `,"parent":`...)
+		buf = strconv.AppendUint(buf, s.Parent, 10)
+		if s.Core >= 0 {
+			buf = append(buf, `,"core":`...)
+			buf = strconv.AppendInt(buf, int64(s.Core), 10)
+		}
+		if s.Retries > 0 {
+			buf = append(buf, `,"retries":`...)
+			buf = strconv.AppendUint(buf, uint64(s.Retries), 10)
+		}
+		buf = append(buf, `}}`...)
+		bw.Write(buf)
+	}
+	bw.WriteString(`]}`)
+	return bw.Flush()
+}
+
+func spanName(s *Span, svcName func(int16) string) string {
+	if s.Stage != StageRequest && s.Stage != StageInvoke {
+		return s.Stage.String()
+	}
+	name := strconv.Itoa(int(s.SvcID))
+	if svcName != nil {
+		name = svcName(s.SvcID)
+	}
+	return s.Stage.String() + " " + name
+}
+
+// appendMicros formats a microsecond value with three decimals (nanosecond
+// resolution) — fixed precision keeps the output stable and compact.
+func appendMicros(buf []byte, us float64) []byte {
+	return strconv.AppendFloat(buf, us, 'f', 3, 64)
+}
+
+// WriteSpansCSV emits one row per span:
+// span,parent,req,stage,svc,core,start_us,end_us,dur_us,retries,flags.
+// Open spans export with end_us = dur_us = 0.
+func WriteSpansCSV(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("span,parent,req,stage,svc,core,start_us,end_us,dur_us,retries,flags\n")
+	var buf []byte
+	for i := range spans {
+		s := &spans[i]
+		buf = buf[:0]
+		buf = strconv.AppendUint(buf, s.ID, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, s.Parent, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, s.Req, 10)
+		buf = append(buf, ',')
+		buf = append(buf, s.Stage.String()...)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(s.SvcID), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(s.Core), 10)
+		buf = append(buf, ',')
+		buf = appendMicros(buf, float64(s.Start)/1e6)
+		buf = append(buf, ',')
+		var end, dur float64
+		if s.End > s.Start {
+			end = float64(s.End) / 1e6
+			dur = float64(s.End-s.Start) / 1e6
+		}
+		buf = appendMicros(buf, end)
+		buf = append(buf, ',')
+		buf = appendMicros(buf, dur)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, uint64(s.Retries), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, uint64(s.Flags), 10)
+		buf = append(buf, '\n')
+		bw.Write(buf)
+	}
+	return bw.Flush()
+}
+
+// WriteMetricsCSV emits a snapshot as name,kind,value rows.
+func WriteMetricsCSV(w io.Writer, snap Snapshot) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("name,kind,value\n")
+	for _, m := range snap {
+		bw.WriteString(m.Name)
+		bw.WriteByte(',')
+		bw.WriteString(m.Kind.String())
+		bw.WriteByte(',')
+		bw.Write(strconv.AppendFloat(nil, m.Value, 'g', -1, 64))
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

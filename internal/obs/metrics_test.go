@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+
+	"umanycore/internal/sim"
+)
+
+func TestTimeHistTimeWeightedMean(t *testing.T) {
+	var h TimeHist
+	// Depth 2 for 10ps, then 4 for 30ps, then 0 for 60ps:
+	// integral = 2*10 + 4*30 + 0*60 = 140 over 100ps -> mean 1.4.
+	h.Observe(0, 2)
+	h.Observe(10, 4)
+	h.Observe(40, 0)
+	if got := h.Mean(100); got != 1.4 {
+		t.Fatalf("Mean = %v, want 1.4", got)
+	}
+	if got := h.Max(); got != 4 {
+		t.Fatalf("Max = %v, want 4", got)
+	}
+	if got := h.N(); got != 3 {
+		t.Fatalf("N = %v, want 3", got)
+	}
+}
+
+func TestTimeHistEmptyAndDegenerate(t *testing.T) {
+	var h TimeHist
+	if got := h.Mean(100); got != 0 {
+		t.Fatalf("empty Mean = %v, want 0", got)
+	}
+	h.Observe(50, 3)
+	if got := h.Mean(50); got != 0 {
+		t.Fatalf("zero-width Mean = %v, want 0", got)
+	}
+	if got := h.Mean(150); got != 3 {
+		t.Fatalf("constant Mean = %v, want 3", got)
+	}
+}
+
+func TestRegistrySameNameSameInstrument(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.b").Add(2)
+	r.Counter("a.b").Inc()
+	if got := r.Counter("a.b").Value(); got != 3 {
+		t.Fatalf("counter = %v, want 3", got)
+	}
+	r.Gauge("g").Set(7)
+	r.Gauge("g").Set(9)
+	if got := r.Gauge("g").Value(); got != 9 {
+		t.Fatalf("gauge = %v, want 9", got)
+	}
+}
+
+func TestSnapshotSortedAndHistExpansion(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.count").Inc()
+	r.Gauge("a.level").Set(5)
+	r.TimeHist("m.depth").Observe(0, 2)
+	snap := r.Snapshot(100 * sim.Nanosecond)
+	wantNames := []string{"a.level", "m.depth.max", "m.depth.mean", "z.count"}
+	if len(snap) != len(wantNames) {
+		t.Fatalf("snapshot has %d metrics, want %d: %+v", len(snap), len(wantNames), snap)
+	}
+	for i, name := range wantNames {
+		if snap[i].Name != name {
+			t.Fatalf("snap[%d].Name = %q, want %q", i, snap[i].Name, name)
+		}
+	}
+	if v, ok := snap.Get("m.depth.mean"); !ok || v != 2 {
+		t.Fatalf("m.depth.mean = %v,%v want 2,true", v, ok)
+	}
+}
+
+func TestCombineSnapshotsByKind(t *testing.T) {
+	a := Snapshot{
+		{Name: "c", Kind: KindCounter, Value: 3},
+		{Name: "g", Kind: KindGauge, Value: 1},
+		{Name: "m", Kind: KindMean, Value: 2},
+		{Name: "x", Kind: KindMax, Value: 5},
+	}
+	b := Snapshot{
+		{Name: "c", Kind: KindCounter, Value: 7},
+		{Name: "g", Kind: KindGauge, Value: 2},
+		{Name: "m", Kind: KindMean, Value: 4},
+		{Name: "x", Kind: KindMax, Value: 4},
+	}
+	got := CombineSnapshots([]Snapshot{a, b})
+	want := Snapshot{
+		{Name: "c", Kind: KindCounter, Value: 10},
+		{Name: "g", Kind: KindGauge, Value: 3},
+		{Name: "m", Kind: KindMean, Value: 3},
+		{Name: "x", Kind: KindMax, Value: 5},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("CombineSnapshots = %+v, want %+v", got, want)
+	}
+	// Order-independence.
+	rev := CombineSnapshots([]Snapshot{b, a})
+	if !reflect.DeepEqual(rev, want) {
+		t.Fatalf("reversed CombineSnapshots = %+v, want %+v", rev, want)
+	}
+}

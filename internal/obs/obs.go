@@ -1,0 +1,228 @@
+// Package obs is the simulation-wide observability layer: per-request span
+// tracing, a metrics registry with named instruments, tail-blame attribution
+// over span trees, and Perfetto/CSV exporters.
+//
+// The layer is designed around two hard constraints shared with the rest of
+// the repository:
+//
+//   - Zero overhead when disabled. The machine model holds nil collector /
+//     registry pointers by default; every instrumentation site is guarded by
+//     a nil check and allocates nothing when observability is off (verified
+//     by the disabled-instrumentation benchmarks next to machine_bench_test).
+//   - Determinism. Recorded data contains only virtual (sim.Time) clocks and
+//     values derived from the seeded simulation — never wall time — so a
+//     traced run is bit-identical across repetitions and sweep worker counts,
+//     and per-worker collectors merge into an order-independent result.
+//
+// Span model: every measured root request owns a span tree. The root span
+// (StageRequest) covers arrival to response egress; each child RPC becomes a
+// StageInvoke span parented to its caller's span; queue waits, scheduling
+// overheads, context switches, memory-stall penalties, software RPC
+// processing, compute segments, storage accesses and ICN/NIC transfers are
+// leaf spans parented to their invocation's span. The blame analyzer
+// extracts the exact critical path through that tree, so per-stage sums
+// reconcile with end-to-end latency to the picosecond.
+package obs
+
+import "umanycore/internal/sim"
+
+// Stage classifies what a span's interval was spent on.
+type Stage uint8
+
+// Stages, in pipeline order.
+const (
+	// StageRequest is the whole-request envelope (the root invocation).
+	StageRequest Stage = iota
+	// StageInvoke is a child invocation's envelope (one RPC subtree).
+	StageInvoke
+	// StageIngress is top-level NIC ingress/egress and external delivery.
+	StageIngress
+	// StageQueue is time waiting in a scheduling domain's queue.
+	StageQueue
+	// StageSched is dequeue / queue-lock / dispatch overhead.
+	StageSched
+	// StageCS is context save/restore, including dispatcher serialization
+	// under a centralized scheduler.
+	StageCS
+	// StageMem is the coherence / migration memory-stall share charged when
+	// an invocation resumes on a different core.
+	StageMem
+	// StageRPC is software RPC processing (receive / send / resume taxes).
+	StageRPC
+	// StageService is handler compute on a core.
+	StageService
+	// StageStorage is a storage access, including the external storage
+	// network (retransmissions recorded in Span.Retries).
+	StageStorage
+	// StageNet is ICN / NIC transfer of RPC request and response messages.
+	StageNet
+	// StageOther is the untracked residual: self-time of request/invoke
+	// envelopes not covered by any child span.
+	StageOther
+	// NumStages bounds per-stage arrays.
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"request", "invoke", "ingress", "queue", "sched", "ctxswitch",
+	"mem-stall", "rpc-proc", "service", "storage", "net", "other",
+}
+
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "stage?"
+}
+
+// Span flags.
+const (
+	// FlagRejected marks an invocation dropped by admission control; its
+	// request never completes and is excluded from tail analysis.
+	FlagRejected uint8 = 1 << iota
+)
+
+// Span is one recorded interval in a request's span tree. End stays zero
+// while the span is open (a request still in flight when the simulation
+// stops never closes its envelope).
+type Span struct {
+	ID     uint64
+	Parent uint64 // 0 = root span
+	// Req is the root request's invocation ID — the grouping key for all
+	// spans of one request tree.
+	Req   uint64
+	Stage Stage
+	Flags uint8
+	// SvcID is the service ID for request/invoke envelopes, -1 otherwise.
+	SvcID int16
+	// Core is the global core ID for service spans, -1 otherwise.
+	Core int32
+	// Retries counts retransmissions realized inside the span (storage
+	// accesses over the lossy external network).
+	Retries uint32
+	Start   sim.Time
+	End     sim.Time
+}
+
+// Dur returns the span's length (0 for open spans).
+func (s *Span) Dur() sim.Time {
+	if s.End <= s.Start {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// Collector records spans for one simulation run. It is single-goroutine by
+// design (one collector per machine per run); parallel sweeps give every
+// worker its own collector and merge them afterwards with Merge.
+type Collector struct {
+	spans []Span
+}
+
+// NewCollector returns an empty collector with storage preallocated for a
+// typical measured run.
+func NewCollector() *Collector {
+	return &Collector{spans: make([]Span, 0, 4096)}
+}
+
+func (c *Collector) push(s Span) uint64 {
+	s.ID = uint64(len(c.spans)) + 1
+	c.spans = append(c.spans, s)
+	return s.ID
+}
+
+// StartRoot opens a request envelope span for root request req.
+func (c *Collector) StartRoot(req uint64, svc int16, start sim.Time) uint64 {
+	return c.push(Span{Req: req, Stage: StageRequest, SvcID: svc, Core: -1, Start: start})
+}
+
+// Start opens a child span under parent, inheriting the parent's request.
+func (c *Collector) Start(parent uint64, stage Stage, svc int16, start sim.Time) uint64 {
+	return c.push(Span{Parent: parent, Req: c.spans[parent-1].Req, Stage: stage, SvcID: svc, Core: -1, Start: start})
+}
+
+// Add records a complete child span under parent.
+func (c *Collector) Add(parent uint64, stage Stage, start, end sim.Time) uint64 {
+	id := c.Start(parent, stage, -1, start)
+	c.spans[id-1].End = end
+	return id
+}
+
+// AddOnCore records a complete child span annotated with the core it ran on.
+func (c *Collector) AddOnCore(parent uint64, stage Stage, core int, start, end sim.Time) uint64 {
+	id := c.Add(parent, stage, start, end)
+	c.spans[id-1].Core = int32(core)
+	return id
+}
+
+// End closes an open span.
+func (c *Collector) End(id uint64, end sim.Time) { c.spans[id-1].End = end }
+
+// Flag ORs flags into a span.
+func (c *Collector) Flag(id uint64, flags uint8) { c.spans[id-1].Flags |= flags }
+
+// AddRetries annotates a span with realized retransmissions.
+func (c *Collector) AddRetries(id uint64, n uint32) { c.spans[id-1].Retries += n }
+
+// Len returns the number of recorded spans.
+func (c *Collector) Len() int { return len(c.spans) }
+
+// Spans exposes the recorded spans (IDs are dense: spans[i].ID == i+1).
+func (c *Collector) Spans() []Span { return c.spans }
+
+// Options selects which observability components a run enables. A nil
+// *Options on a RunConfig disables the layer entirely.
+type Options struct {
+	// Trace records per-request span trees.
+	Trace bool
+	// Metrics collects the named-instrument registry.
+	Metrics bool
+}
+
+// DefaultOptions enables both tracing and metrics.
+func DefaultOptions() *Options { return &Options{Trace: true, Metrics: true} }
+
+// Run bundles one simulation's observability output: the recorded spans and
+// the metrics snapshot. Both are deterministic functions of the run's seed.
+type Run struct {
+	Spans   []Span
+	Metrics Snapshot
+}
+
+// Merge combines runs from independent collectors (fleet servers, sweep
+// replicates) into one Run, re-basing span and request IDs so they stay
+// unique. The result depends only on the input order — which callers fix to
+// job order during sweep reassembly — never on worker count or scheduling.
+func Merge(runs []*Run) *Run {
+	merged := &Run{}
+	var snaps []Snapshot
+	var idOff, reqOff uint64
+	for _, r := range runs {
+		if r == nil {
+			continue
+		}
+		var maxID, maxReq uint64
+		for _, s := range r.Spans {
+			ns := s
+			ns.ID += idOff
+			if ns.Parent != 0 {
+				ns.Parent += idOff
+			}
+			ns.Req += reqOff
+			merged.Spans = append(merged.Spans, ns)
+			if s.ID > maxID {
+				maxID = s.ID
+			}
+			if s.Req > maxReq {
+				maxReq = s.Req
+			}
+		}
+		idOff += maxID
+		reqOff += maxReq
+		if r.Metrics != nil {
+			snaps = append(snaps, r.Metrics)
+		}
+	}
+	merged.Metrics = CombineSnapshots(snaps)
+	return merged
+}

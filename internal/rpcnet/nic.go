@@ -19,14 +19,16 @@ type LNIC struct {
 	// parse / build, RQ hand-off).
 	ProcDelay sim.Time
 	pipe      sim.Resource
-	// Sent counts accepted messages.
-	Sent uint64
+	// Sent counts accepted messages; Bytes the wire bytes they carried.
+	Sent  uint64
+	Bytes uint64
 }
 
 // Send enqueues a message of wireBytes at time now; the returned time is
 // when the sender may consider it handed to the network.
 func (n *LNIC) Send(now sim.Time, wireBytes int) sim.Time {
 	n.Sent++
+	n.Bytes += uint64(wireBytes)
 	ser := n.PsPerByte * sim.Time(wireBytes)
 	return n.pipe.Acquire(now, ser) + n.ProcDelay
 }
@@ -55,9 +57,11 @@ type RNIC struct {
 	pipe sim.Resource
 	cwnd float64 // congestion window in messages
 
-	// Stats.
+	// Stats. Bytes counts wire bytes over every transmission attempt, so it
+	// includes retransmitted bytes (the external network's real load).
 	Sent       uint64
 	Retransmit uint64
+	Bytes      uint64
 }
 
 // NewRNIC builds a remote NIC with sane defaults filled in.
@@ -83,6 +87,7 @@ func (n *RNIC) Cwnd() float64 { return n.cwnd }
 // additively on success.
 func (n *RNIC) Send(now sim.Time, wireBytes int, rand01 func() float64) sim.Time {
 	n.Sent++
+	n.Bytes += uint64(wireBytes)
 	ser := n.PsPerByte * sim.Time(wireBytes)
 	// Window pacing: a full window ahead of us delays our first
 	// transmission by its serialization time.
@@ -97,6 +102,7 @@ func (n *RNIC) Send(now sim.Time, wireBytes int, rand01 func() float64) sim.Time
 	// Transmission attempts until one survives.
 	for rand01() < n.LossProb {
 		n.Retransmit++
+		n.Bytes += uint64(wireBytes)
 		// Timeout, multiplicative decrease, retransmit.
 		n.cwnd = n.cwnd / 2
 		if n.cwnd < 1 {

@@ -242,3 +242,35 @@ func TestWireSizeProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestNICWireByteCounters(t *testing.T) {
+	l := &LNIC{PsPerByte: 10, ProcDelay: 100}
+	l.Send(0, 64)
+	l.Send(0, 200)
+	if l.Sent != 2 || l.Bytes != 264 {
+		t.Fatalf("LNIC sent=%d bytes=%d, want 2, 264", l.Sent, l.Bytes)
+	}
+
+	// Lossless R-NIC counts exactly the payload bytes.
+	clean := NewRNIC(100, 1000, 0)
+	r := rand.New(rand.NewSource(5))
+	clean.Send(0, 128, r.Float64)
+	if clean.Bytes != 128 {
+		t.Fatalf("lossless RNIC bytes = %d, want 128", clean.Bytes)
+	}
+
+	// Lossy R-NIC counts every transmission attempt: payload bytes once per
+	// original send plus once per retransmission.
+	lossy := NewRNIC(100, 1000, 0.5)
+	for i := 0; i < 100; i++ {
+		lossy.Send(sim.Time(i)*1_000_000, 100, r.Float64)
+	}
+	want := (lossy.Sent + lossy.Retransmit) * 100
+	if lossy.Retransmit == 0 {
+		t.Fatal("no retransmissions at 50% loss")
+	}
+	if lossy.Bytes != want {
+		t.Fatalf("lossy RNIC bytes = %d, want %d (%d sends + %d retx)",
+			lossy.Bytes, want, lossy.Sent, lossy.Retransmit)
+	}
+}

@@ -123,6 +123,13 @@ type Engine struct {
 	streams map[string]*rand.Rand
 	fired   uint64
 	stopped bool
+	// maxPending is the event heap's high-water mark since the last Reset —
+	// the obs layer's "sim.heap.peak" instrument. Tracking it is one
+	// predictable branch per schedule, cheap enough to stay always-on.
+	maxPending int
+	// resets counts Reset calls over the engine's lifetime, exposing how
+	// deep the engine-reuse pool recycling goes.
+	resets uint64
 }
 
 // NewEngine returns an engine whose random streams all derive from seed.
@@ -156,6 +163,8 @@ func (e *Engine) Reset(seed int64) {
 	e.seq = 0
 	e.fired = 0
 	e.stopped = false
+	e.maxPending = 0
+	e.resets++
 	e.seed = seed
 	for name, r := range e.streams {
 		r.Seed(seed ^ streamHash(name))
@@ -191,6 +200,14 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of events still scheduled.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// MaxPending returns the event heap's high-water mark since the last Reset
+// (or engine creation) — a capacity-planning and obs-layer statistic.
+func (e *Engine) MaxPending() int { return e.maxPending }
+
+// Resets returns how many times this engine has been Reset, i.e. how often
+// pool recycling reused its storage.
+func (e *Engine) Resets() uint64 { return e.resets }
+
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it is always a model bug.
 func (e *Engine) At(t Time, fn Event) Handle {
@@ -201,6 +218,9 @@ func (e *Engine) At(t Time, fn Event) Handle {
 	s.at, s.seq, s.fn = t, e.seq, fn
 	e.seq++
 	heap.Push(&e.events, s)
+	if len(e.events) > e.maxPending {
+		e.maxPending = len(e.events)
+	}
 	return Handle{s: s, gen: s.gen}
 }
 

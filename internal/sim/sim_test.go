@@ -404,3 +404,52 @@ func TestEngineResetClearsPending(t *testing.T) {
 		t.Fatal("event survived Reset")
 	}
 }
+
+func TestMaxPendingHighWater(t *testing.T) {
+	e := NewEngine(1)
+	if e.MaxPending() != 0 {
+		t.Fatalf("fresh engine MaxPending = %d, want 0", e.MaxPending())
+	}
+	for i := 1; i <= 5; i++ {
+		e.At(Time(i), func() {})
+	}
+	if e.MaxPending() != 5 {
+		t.Fatalf("MaxPending = %d, want 5", e.MaxPending())
+	}
+	e.Run()
+	// The high-water mark survives the drain.
+	if e.Pending() != 0 || e.MaxPending() != 5 {
+		t.Fatalf("after run: pending=%d max=%d, want 0, 5", e.Pending(), e.MaxPending())
+	}
+	// Scheduling from inside events keeps tracking the true peak.
+	e2 := NewEngine(1)
+	e2.At(1, func() {
+		e2.At(2, func() {})
+		e2.At(3, func() {})
+		e2.At(4, func() {})
+	})
+	e2.Run()
+	if e2.MaxPending() != 3 {
+		t.Fatalf("nested MaxPending = %d, want 3", e2.MaxPending())
+	}
+}
+
+func TestResetClearsMaxPendingAndCountsResets(t *testing.T) {
+	e := NewEngine(1)
+	e.At(1, func() {})
+	e.At(2, func() {})
+	if e.Resets() != 0 {
+		t.Fatalf("fresh engine Resets = %d, want 0", e.Resets())
+	}
+	e.Reset(2)
+	if e.MaxPending() != 0 {
+		t.Fatalf("MaxPending after Reset = %d, want 0", e.MaxPending())
+	}
+	if e.Resets() != 1 {
+		t.Fatalf("Resets = %d, want 1", e.Resets())
+	}
+	e.Reset(3)
+	if e.Resets() != 2 {
+		t.Fatalf("Resets = %d, want 2", e.Resets())
+	}
+}

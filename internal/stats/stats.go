@@ -5,9 +5,12 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // Sample accumulates float64 observations and answers exact order statistics.
@@ -177,6 +180,44 @@ func (s *Sample) Summarize() Summary {
 
 func (s Summary) String() string {
 	return fmt.Sprintf("n=%d mean=%.2f p50=%.2f p99=%.2f max=%.2f", s.N, s.Mean, s.Median, s.P99, s.Max)
+}
+
+// MarshalJSON emits the summary with a fixed field order and shortest-exact
+// float formatting, so every tool serializing summaries (umprof, umbench,
+// umsim -metrics) produces byte-identical records for identical results.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	var b strings.Builder
+	b.WriteString(`{"n":`)
+	b.WriteString(strconv.Itoa(s.N))
+	for _, f := range [...]struct {
+		key string
+		v   float64
+	}{{"mean", s.Mean}, {"p50", s.Median}, {"p99", s.P99}, {"max", s.Max}} {
+		b.WriteString(`,"`)
+		b.WriteString(f.key)
+		b.WriteString(`":`)
+		v := f.v
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0 // JSON has no NaN/Inf; empty summaries serialize as zeros
+		}
+		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	b.WriteByte('}')
+	return []byte(b.String()), nil
+}
+
+// UnmarshalJSON accepts the MarshalJSON layout (and any key order).
+func (s *Summary) UnmarshalJSON(data []byte) error {
+	var m map[string]float64
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	s.N = int(m["n"])
+	s.Mean = m["mean"]
+	s.Median = m["p50"]
+	s.P99 = m["p99"]
+	s.Max = m["max"]
+	return nil
 }
 
 // Values returns a copy of the raw observations (sorted if a quantile was

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"sort"
@@ -286,5 +287,51 @@ func TestMeanBoundsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSummaryJSONStableOrder(t *testing.T) {
+	s := Summary{N: 3, Mean: 1.5, Median: 1, P99: 2.25, Max: 2.25}
+	got, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"n":3,"mean":1.5,"p50":1,"p99":2.25,"max":2.25}`
+	if string(got) != want {
+		t.Fatalf("Marshal = %s, want %s", got, want)
+	}
+	// Round trip.
+	var back Summary
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Fatalf("round trip = %+v, want %+v", back, s)
+	}
+	// Identical summaries serialize byte-identically (the contract umprof,
+	// umsim -metrics and umbench share).
+	again, _ := json.Marshal(s)
+	if string(again) != string(got) {
+		t.Fatalf("marshal not stable: %s vs %s", again, got)
+	}
+}
+
+func TestSummaryJSONEmptyAndSpecial(t *testing.T) {
+	got, err := json.Marshal(Summary{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"n":0,"mean":0,"p50":0,"p99":0,"max":0}`
+	if string(got) != want {
+		t.Fatalf("empty Marshal = %s, want %s", got, want)
+	}
+	// NaN/Inf must not produce invalid JSON.
+	b, err := json.Marshal(Summary{N: 1, Mean: math.NaN(), P99: math.Inf(1)})
+	if err != nil {
+		t.Fatalf("NaN/Inf marshal failed: %v", err)
+	}
+	var back Summary
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("NaN/Inf output not parseable: %v", err)
 	}
 }

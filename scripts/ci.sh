@@ -21,6 +21,11 @@ else
     go test -race ./...
 fi
 
+# The observability merge path and the sweep runner carry the repo's
+# determinism/race contracts; race-check them on every run, quick included.
+echo "== go test -race (obs + sweep) =="
+go test -race -short ./internal/obs/... ./internal/sweep/...
+
 echo "== bench smoke (allocation + sweep benchmarks, 1 iteration) =="
 go test -run xxx -bench 'BenchmarkEngine|BenchmarkMachineRun' -benchtime 1x \
     -benchmem ./internal/sim/ ./internal/machine/

@@ -30,6 +30,7 @@ import (
 	"umanycore/internal/experiments"
 	"umanycore/internal/fleet"
 	"umanycore/internal/machine"
+	"umanycore/internal/obs"
 	"umanycore/internal/power"
 	"umanycore/internal/sim"
 	"umanycore/internal/stats"
@@ -60,6 +61,30 @@ type (
 	// Sample is a raw latency sample with exact quantiles.
 	Sample = stats.Sample
 )
+
+// Observability types (see OBSERVABILITY.md).
+type (
+	// ObsOptions selects which observability components a run enables
+	// (set on RunConfig.Obs; nil disables the layer at zero cost).
+	ObsOptions = obs.Options
+	// ObsRun bundles a run's recorded spans and metrics snapshot.
+	ObsRun = obs.Run
+	// Span is one recorded interval of a request's trace tree.
+	Span = obs.Span
+	// BlameReport is the tail-blame breakdown over traced requests.
+	BlameReport = obs.Report
+)
+
+// DefaultObs enables both tracing and metrics for a run:
+//
+//	rc.Obs = umanycore.DefaultObs()
+func DefaultObs() *ObsOptions { return obs.DefaultOptions() }
+
+// AnalyzeTail extracts the per-stage tail-blame report for the slowest
+// topFrac of traced requests (0.01 = the paper-style slowest 1%).
+func AnalyzeTail(spans []Span, topFrac float64) *BlameReport {
+	return obs.Analyze(spans, topFrac)
+}
 
 // Workload types.
 type (
