@@ -22,6 +22,7 @@ import (
 
 	"umanycore"
 	"umanycore/internal/sweep"
+	"umanycore/internal/telemetry"
 	"umanycore/internal/textplot"
 )
 
@@ -32,7 +33,22 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	parallel := flag.Int("parallel", 0, "sweep workers (<=0: all cores); results are identical for any value")
 	figures := flag.String("figures", "all", "comma-separated figure list (1..9, e2e, 15, 18, 19, 20, 68, power)")
+	serve := flag.String("serve", "", "serve live /metrics, /healthz, /progress (sweep cells done + ETA) and pprof on this address during the regeneration (e.g. :9090)")
 	flag.Parse()
+
+	if *serve != "" {
+		addr, err := telemetry.ParseServeAddr(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "umbench:", err)
+			os.Exit(2)
+		}
+		srv, err := telemetry.Serve(addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "umbench:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "umbench: serving /metrics /healthz /progress /debug/pprof on %s\n", srv.Addr)
+	}
 
 	o := umanycore.DefaultExperimentOptions()
 	o.Seed = *seed

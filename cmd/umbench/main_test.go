@@ -1,0 +1,129 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"umanycore"
+	"umanycore/internal/stats"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("UMBENCH_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runMain(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "UMBENCH_RUN_MAIN=1")
+	var out, errb strings.Builder
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	if ee, ok := err.(*exec.ExitError); ok {
+		return out.String(), errb.String(), ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running %v: %v", args, err)
+	}
+	return out.String(), errb.String(), 0
+}
+
+// TestPowerTableGolden pins the closed-form power/area table — no simulation
+// behind it, so it runs instantly and any drift means the package model moved.
+func TestPowerTableGolden(t *testing.T) {
+	stdout, stderr, code := runMain(t, "-figures", "power")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, row := range []string{
+		"uManycore             430.2        547.6",
+		"ScaleOut              417.9        532.2",
+		"ServerClass-40        409.1        176.1",
+		"ServerClass-128      1309.0        547.2",
+	} {
+		if !strings.Contains(stdout, row) {
+			t.Errorf("power table missing row %q in:\n%s", row, stdout)
+		}
+	}
+}
+
+// TestE2EJSONGolden checks the machine-readable grid encoding on constructed
+// rows (running the real e2e figure takes minutes). Field order and float
+// formatting must stay byte-stable — downstream diffing depends on it.
+func TestE2EJSONGolden(t *testing.T) {
+	rows := []umanycore.E2ERow{
+		{
+			App: "CPost", RPS: 15000, Arch: "uManycore",
+			Latency:     stats.Summary{N: 100, Mean: 50.5, Median: 48, P99: 120.25, Max: 130},
+			TailToAvg:   2.381188118811881,
+			Utilization: 0.25,
+			Unfinished:  0,
+		},
+		{
+			App: "Text", RPS: 5000, Arch: "ScaleOut",
+			Latency:     stats.Summary{N: 7, Mean: 10, Median: 9, P99: 30, Max: 31},
+			TailToAvg:   3,
+			Utilization: 0.0625,
+			Unfinished:  2,
+		},
+	}
+	f := t.TempDir() + "/e2e.json"
+	if err := writeE2EJSON(f, rows); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `[
+  {
+    "app": "CPost",
+    "rps": 15000,
+    "arch": "uManycore",
+    "latency": {
+      "n": 100,
+      "mean": 50.5,
+      "p50": 48,
+      "p99": 120.25,
+      "max": 130
+    },
+    "p99_to_avg": 2.381188118811881,
+    "util": 0.25,
+    "unfinished": 0
+  },
+  {
+    "app": "Text",
+    "rps": 5000,
+    "arch": "ScaleOut",
+    "latency": {
+      "n": 7,
+      "mean": 10,
+      "p50": 9,
+      "p99": 30,
+      "max": 31
+    },
+    "p99_to_avg": 3,
+    "util": 0.0625,
+    "unfinished": 2
+  }
+]
+`
+	if string(b) != want {
+		t.Fatalf("e2e json drifted:\ngot:\n%s\nwant:\n%s", b, want)
+	}
+}
+
+func TestBadServeAddrExits(t *testing.T) {
+	_, stderr, code := runMain(t, "-serve", "not/an/addr", "-figures", "power")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "umbench:") {
+		t.Fatalf("stderr %q", stderr)
+	}
+}

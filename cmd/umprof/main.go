@@ -25,6 +25,8 @@ import (
 	"umanycore"
 	"umanycore/internal/obs"
 	"umanycore/internal/sim"
+	"umanycore/internal/stats"
+	"umanycore/internal/telemetry"
 	"umanycore/internal/workload"
 )
 
@@ -43,6 +45,9 @@ func main() {
 	spansOut := flag.String("spans", "", "also write every span as CSV to FILE")
 	metricsOut := flag.String("metrics", "", "also write the metrics snapshot as CSV to FILE")
 	jsonOut := flag.Bool("json", false, "print the report as JSON instead of a table")
+	sample := flag.Duration("sample", 0, "streaming-telemetry sampling interval (simulated; 0 = off unless -series set)")
+	seriesOut := flag.String("series", "", "write the telemetry time series as CSV to FILE (- = stdout)")
+	serve := flag.String("serve", "", "serve live /metrics, /healthz, /progress and pprof on this address during the run (e.g. :9090)")
 	flag.Parse()
 
 	cfg, err := buildConfig(*arch, *cores)
@@ -64,20 +69,42 @@ func main() {
 	if *mix {
 		rc.Mix = umanycore.SocialNetworkMix()
 	}
+	if *sample > 0 || *seriesOut != "" {
+		topts := &umanycore.TelemetryOptions{}
+		if *sample > 0 {
+			topts.Interval = sim.Time(sample.Nanoseconds()) * umanycore.Nanosecond
+		}
+		rc.Telemetry = topts
+	}
+	if *serve != "" {
+		addr, err := telemetry.ParseServeAddr(*serve)
+		if err != nil {
+			fatal(err)
+		}
+		srv, err := telemetry.Serve(addr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "umprof: serving /metrics /healthz /progress /series.csv /debug/pprof on %s\n", srv.Addr)
+	}
 
 	var orun *umanycore.ObsRun
+	var trun *umanycore.TelemetryRun
 	var latency umanycore.Summary
 	var label string
 	if *servers > 0 {
 		fc := umanycore.DefaultFleet(cfg)
 		fc.Servers = *servers
 		fres := umanycore.RunFleet(fc, app, *rps, rc, *seed)
-		orun, latency = fres.Obs, fres.Latency
+		orun, trun, latency = fres.Obs, fres.Telemetry, fres.Latency
 		label = fmt.Sprintf("%s x%d servers", fres.Machine, *servers)
 	} else {
 		res := umanycore.Run(cfg, rc)
-		orun, latency = res.Obs, res.Latency
+		orun, trun, latency = res.Obs, res.Telemetry, res.Latency
 		label = res.Machine
+	}
+	if trun != nil {
+		telemetry.Publish(trun)
 	}
 
 	rep := umanycore.AnalyzeTail(orun.Spans, *top/100)
@@ -109,6 +136,20 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *seriesOut != "" {
+		if trun == nil {
+			fatal(fmt.Errorf("-series produced no telemetry"))
+		}
+		if *seriesOut == "-" {
+			if err := trun.WriteCSV(os.Stdout); err != nil {
+				fatal(err)
+			}
+		} else if err := writeFile(*seriesOut, func(f *os.File) error {
+			return trun.WriteCSV(f)
+		}); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *jsonOut {
 		printJSON(label, app.Name, *rps, latency, rep)
@@ -124,33 +165,36 @@ func main() {
 		rep.P99.Micros(), latency.P99, pctDiff(rep.P99.Micros(), latency.P99))
 }
 
-// printJSON emits the report as one stable-order JSON object; the latency
-// field uses stats.Summary's fixed-order marshaling shared with umsim/umbench.
+// printJSON emits the report as one stable-order JSON object built with
+// stats.JSONObject — the fixed-field-order encoder shared with
+// umsim/umbench; the latency field uses stats.Summary's marshaling.
 func printJSON(machineName, appName string, rps float64, latency umanycore.Summary, rep *umanycore.BlameReport) {
 	lat, err := latency.MarshalJSON()
 	if err != nil {
 		fatal(err)
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "{\"machine\":%q,\"app\":%q,\"rps\":%s,\"latency\":%s,",
-		machineName, appName, strconv.FormatFloat(rps, 'g', -1, 64), lat)
-	fmt.Fprintf(&b, "\"tail\":{\"top_frac\":%s,\"traced\":%d,\"analyzed\":%d,\"cutoff_us\":%.3f,\"traced_p99_us\":%.3f,\"by_stage_us\":{",
-		strconv.FormatFloat(rep.TopFrac, 'g', -1, 64), rep.Total, len(rep.Requests),
-		rep.Cutoff.Micros(), rep.P99.Micros())
-	first := true
-	for st := obs.Stage(0); st < obs.NumStages; st++ {
-		d := rep.ByStage[st]
-		if d == 0 {
-			continue
-		}
-		if !first {
-			b.WriteByte(',')
-		}
-		first = false
-		fmt.Fprintf(&b, "%q:%.3f", st.String(), d.Micros())
-	}
-	fmt.Fprintf(&b, "},\"residual_ps\":%d}}\n", int64(rep.Residual()))
-	os.Stdout.WriteString(b.String())
+	var o stats.JSONObject
+	o.Str("machine", machineName).
+		Str("app", appName).
+		Float("rps", rps).
+		Raw("latency", lat).
+		Obj("tail", func(t *stats.JSONObject) {
+			t.Float("top_frac", rep.TopFrac).
+				Int("traced", int64(rep.Total)).
+				Int("analyzed", int64(len(rep.Requests))).
+				FloatFixed("cutoff_us", rep.Cutoff.Micros(), 3).
+				FloatFixed("traced_p99_us", rep.P99.Micros(), 3).
+				Obj("by_stage_us", func(s *stats.JSONObject) {
+					for st := obs.Stage(0); st < obs.NumStages; st++ {
+						if d := rep.ByStage[st]; d != 0 {
+							s.FloatFixed(st.String(), d.Micros(), 3)
+						}
+					}
+				}).
+				Int("residual_ps", int64(rep.Residual()))
+		})
+	os.Stdout.Write(o.Bytes())
+	os.Stdout.WriteString("\n")
 }
 
 func writeFile(path string, fn func(*os.File) error) error {

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMain re-execs the test binary as the real command when the driver
+// environment variable is set, so tests can run main() as a subprocess with
+// real flag parsing and exit codes.
+func TestMain(m *testing.M) {
+	if os.Getenv("UMPROF_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runMain(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "UMPROF_RUN_MAIN=1")
+	var out, errb strings.Builder
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	if ee, ok := err.(*exec.ExitError); ok {
+		return out.String(), errb.String(), ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running %v: %v", args, err)
+	}
+	return out.String(), errb.String(), 0
+}
+
+// TestJSONGolden pins umprof -json output byte for byte: the simulation is
+// deterministic and the encoder is fixed-field-order, so this line only
+// moves when the machine model or wire format deliberately changes.
+func TestJSONGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	stdout, stderr, code := runMain(t,
+		"-app", "Text", "-rps", "8000", "-duration", "40ms", "-warmup", "10ms", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	want := `{"machine":"uManycore","app":"Text","rps":8000,"latency":{"n":219,"mean":516.2658369452055,"p50":507.559109,"p99":781.564295,"max":797.057152},"tail":{"top_frac":0.01,"traced":219,"analyzed":3,"cutoff_us":781.564,"traced_p99_us":781.564,"by_stage_us":{"ingress":3.600,"sched":0.216,"ctxswitch":2.304,"service":1098.373,"storage":1184.514,"net":76.862},"residual_ps":0}}` + "\n"
+	if stdout != want {
+		t.Fatalf("json output drifted:\ngot:  %swant: %s", stdout, want)
+	}
+}
+
+func TestBadArchExits(t *testing.T) {
+	_, stderr, code := runMain(t, "-arch", "bogus")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown architecture") {
+		t.Fatalf("stderr %q", stderr)
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	f := t.TempDir() + "/series.csv"
+	_, stderr, code := runMain(t,
+		"-app", "Text", "-rps", "8000", "-duration", "30ms", "-warmup", "5ms",
+		"-sample", "2ms", "-series", f)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	b, err := os.ReadFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b), "series,kind,t_us,value\n") {
+		t.Fatalf("series csv header missing: %q", string(b[:60]))
+	}
+	if !strings.Contains(string(b), "telemetry.latency.p99") {
+		t.Fatal("series csv missing the latency window series")
+	}
+}

@@ -20,7 +20,9 @@ import (
 	"umanycore/internal/machine"
 	"umanycore/internal/obs"
 	"umanycore/internal/sim"
+	"umanycore/internal/stats"
 	"umanycore/internal/sweep"
+	"umanycore/internal/telemetry"
 	"umanycore/internal/workload"
 )
 
@@ -40,6 +42,11 @@ func main() {
 	replicates := flag.Int("replicates", 1, "independent replicates with derived seeds (run in parallel; reports the p99 spread)")
 	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON of replicate 0 to FILE")
 	metricsOut := flag.String("metrics", "", "write replicate 0's metrics snapshot as JSON to FILE (- = stdout)")
+	sample := flag.Duration("sample", 0, "streaming-telemetry sampling interval for replicate 0 (simulated; 0 = off unless another telemetry flag enables it)")
+	seriesOut := flag.String("series", "", "write replicate 0's telemetry time series as CSV to FILE (- = stdout)")
+	dash := flag.Bool("dash", false, "print a terminal sparkline dashboard of the telemetry series")
+	sloP99 := flag.Float64("slo-p99", 0, "enable the SLO watchdog against this P99 objective [us] and print its alerts")
+	serve := flag.String("serve", "", "serve live /metrics, /healthz, /progress and pprof on this address during the run (e.g. :9090)")
 	flag.Parse()
 
 	cfg, err := buildConfig(*arch, *cores)
@@ -88,6 +95,29 @@ func main() {
 	// Observability is recorded for replicate 0 only — the seed the user
 	// asked for; extra replicates stay on the zero-overhead path.
 	obsOn := *traceOut != "" || *metricsOut != ""
+	teleOn := *sample > 0 || *seriesOut != "" || *dash || *sloP99 > 0
+	var teleOpts *umanycore.TelemetryOptions
+	if teleOn {
+		if *sloP99 > 0 {
+			teleOpts = umanycore.DefaultTelemetry(*sloP99)
+		} else {
+			teleOpts = &umanycore.TelemetryOptions{}
+		}
+		if *sample > 0 {
+			teleOpts.Interval = sim.Time(sample.Nanoseconds()) * umanycore.Nanosecond
+		}
+	}
+	if *serve != "" {
+		addr, err := telemetry.ParseServeAddr(*serve)
+		if err != nil {
+			fatal(err)
+		}
+		srv, err := telemetry.Serve(addr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "umsim: serving /metrics /healthz /progress /series.csv /debug/pprof on %s\n", srv.Addr)
+	}
 	start := time.Now()
 	results := sweep.Map(0, seeds, func(i int, s int64) *umanycore.Result {
 		rrc := rc
@@ -95,10 +125,16 @@ func main() {
 		if obsOn && i == 0 {
 			rrc.Obs = &umanycore.ObsOptions{Trace: *traceOut != "", Metrics: *metricsOut != ""}
 		}
+		if teleOn && i == 0 {
+			rrc.Telemetry = teleOpts
+		}
 		return umanycore.Run(cfg, rrc)
 	})
 	elapsed := time.Since(start)
 	res := results[0]
+	if res.Telemetry != nil {
+		telemetry.Publish(res.Telemetry)
+	}
 
 	if *traceOut != "" {
 		if err := writeTrace(*traceOut, res.Obs.Spans, app); err != nil {
@@ -107,6 +143,11 @@ func main() {
 	}
 	if *metricsOut != "" {
 		if err := writeMetrics(*metricsOut, res); err != nil {
+			fatal(err)
+		}
+	}
+	if *seriesOut != "" {
+		if err := writeSeries(*seriesOut, res.Telemetry); err != nil {
 			fatal(err)
 		}
 	}
@@ -148,6 +189,38 @@ func main() {
 		fmt.Printf("replicates   : n=%d p99 mean=%.1f min=%.1f max=%.1f [us]\n",
 			len(results), sum/float64(len(results)), lo, hi)
 	}
+	if res.Telemetry != nil {
+		if *dash {
+			fmt.Println()
+			res.Telemetry.Dashboard(os.Stdout, 48)
+		} else if *sloP99 > 0 {
+			if len(res.Telemetry.Alerts) == 0 {
+				fmt.Printf("slo watchdog : no alerts (P99 objective %.0fus)\n", *sloP99)
+			} else {
+				fmt.Printf("slo watchdog : %d transitions (P99 objective %.0fus)\n", len(res.Telemetry.Alerts), *sloP99)
+				for _, a := range res.Telemetry.Alerts {
+					fmt.Printf("  %s\n", a.String())
+				}
+			}
+		}
+	}
+}
+
+// writeSeries dumps the telemetry time series as CSV.
+func writeSeries(path string, run *umanycore.TelemetryRun) error {
+	if run == nil {
+		return fmt.Errorf("-series needs telemetry (it enables the sampler; did the run record nothing?)")
+	}
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return run.WriteCSV(w)
 }
 
 func buildConfig(arch string, cores int) (umanycore.Config, error) {
@@ -216,7 +289,8 @@ func writeTrace(path string, spans []umanycore.Span, app *umanycore.App) error {
 }
 
 // writeMetrics emits the run's metrics snapshot plus the latency summary as
-// one JSON object with stable key order.
+// one JSON object with stable key order (stats.JSONObject — the encoder
+// shared with umprof and umbench).
 func writeMetrics(path string, res *umanycore.Result) error {
 	w := os.Stdout
 	if path != "-" {
@@ -231,17 +305,20 @@ func writeMetrics(path string, res *umanycore.Result) error {
 	if err != nil {
 		return err
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "{\"machine\":%q,\"app\":%q,\"rps\":%s,\"latency\":%s,\"metrics\":{",
-		res.Machine, res.App, strconv.FormatFloat(res.RPS, 'g', -1, 64), lat)
-	for i, m := range res.Obs.Metrics {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		fmt.Fprintf(&b, "%q:%s", m.Name, strconv.FormatFloat(m.Value, 'g', -1, 64))
+	var o stats.JSONObject
+	o.Str("machine", res.Machine).
+		Str("app", res.App).
+		Float("rps", res.RPS).
+		Raw("latency", lat).
+		Obj("metrics", func(m *stats.JSONObject) {
+			for _, mt := range res.Obs.Metrics {
+				m.Float(mt.Name, mt.Value)
+			}
+		})
+	if _, err := w.Write(o.Bytes()); err != nil {
+		return err
 	}
-	b.WriteString("}}\n")
-	_, err = w.WriteString(b.String())
+	_, err = w.Write([]byte("\n"))
 	return err
 }
 

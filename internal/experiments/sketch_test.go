@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"umanycore/internal/machine"
+	"umanycore/internal/sim"
+	"umanycore/internal/sweep"
+	"umanycore/internal/telemetry"
+)
+
+// TestSketchMatchesExactOnFigureCells cross-checks the streaming quantile
+// sketch against the exact latency sample on the figure drivers' own cells:
+// every §5 architecture × a fan-out-light and a fan-out-heavy app × a low
+// and a high load point, each under the standard cell-keyed seed. For every
+// cell and every checked quantile the sketch must land within its
+// documented relative-error bound (Sketch.Alpha) of Sample's nearest-rank
+// quantile — the guarantee that lets long sweeps stream sketches instead of
+// retaining raw samples.
+func TestSketchMatchesExactOnFigureCells(t *testing.T) {
+	o := DefaultOptions().Quick().normalized()
+	o.Duration = 60 * sim.Millisecond
+	o.Warmup = 10 * sim.Millisecond
+	o.Drain = 300 * sim.Millisecond
+
+	type cell struct {
+		cfg machine.Config
+		app int
+		rps float64
+	}
+	var cells []cell
+	for _, cfg := range archSet() {
+		for _, app := range []int{0, 6} { // Text (shallow), CPost (deep + storage)
+			for _, rps := range []float64{5000, 15000} {
+				cells = append(cells, cell{cfg, app, rps})
+			}
+		}
+	}
+	type outcome struct {
+		key  string
+		errs []string
+		n    uint64
+	}
+	results := sweep.Map(0, cells, func(_ int, c cell) outcome {
+		app := o.Apps[c.app]
+		key := fmt.Sprintf("sketchx/%s/%s/%.0f", c.cfg.Name, app.Name, c.rps)
+		rc := o.runCfgKey(app, c.rps, key)
+		rc.Telemetry = telemetry.DefaultOptions()
+		res := machine.Run(c.cfg, rc)
+		out := outcome{key: key, n: res.Telemetry.Sketch.N()}
+		if res.Telemetry.Sketch.N() != uint64(res.Sample.N()) {
+			out.errs = append(out.errs, fmt.Sprintf("sketch n=%d sample n=%d",
+				res.Telemetry.Sketch.N(), res.Sample.N()))
+			return out
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+			exact := res.Sample.Quantile(q)
+			if exact <= 0 {
+				continue
+			}
+			est := res.Telemetry.Sketch.Quantile(q)
+			if rel := math.Abs(est-exact) / exact; rel > res.Telemetry.Sketch.Alpha() {
+				out.errs = append(out.errs, fmt.Sprintf(
+					"q=%v sketch %.3f exact %.3f rel %.4f > %.4f", q, est, exact, rel,
+					res.Telemetry.Sketch.Alpha()))
+			}
+		}
+		return out
+	})
+	for _, r := range results {
+		if r.n == 0 {
+			t.Errorf("%s: empty sketch", r.key)
+		}
+		for _, e := range r.errs {
+			t.Errorf("%s: %s", r.key, e)
+		}
+	}
+}

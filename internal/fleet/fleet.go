@@ -16,6 +16,7 @@ import (
 	"umanycore/internal/sim"
 	"umanycore/internal/stats"
 	"umanycore/internal/sweep"
+	"umanycore/internal/telemetry"
 	"umanycore/internal/workload"
 )
 
@@ -65,6 +66,9 @@ type Result struct {
 	// Obs merges the per-server observability runs (in server order) when
 	// the RunConfig enabled the layer; nil otherwise.
 	Obs *obs.Run
+	// Telemetry merges the per-server telemetry runs (in server order) when
+	// the RunConfig enabled the sampler; nil otherwise.
+	Telemetry *telemetry.Run
 }
 
 // Run drives the fleet at totalRPS (split evenly across servers) and merges
@@ -116,6 +120,15 @@ func Run(fc Config, app *workload.App, totalRPS float64, rc machine.RunConfig, s
 			runs[i] = res.Obs
 		}
 		out.Obs = obs.Merge(runs)
+	}
+	if rc.Telemetry != nil {
+		// Same order contract as Obs: merge on the server-order slice, never
+		// on completion order, so Parallel doesn't change the result.
+		runs := make([]*telemetry.Run, len(perServer))
+		for i, res := range perServer {
+			runs[i] = res.Telemetry
+		}
+		out.Telemetry = telemetry.Merge(runs)
 	}
 	return out
 }

@@ -11,6 +11,7 @@ import (
 	"umanycore/internal/rq"
 	"umanycore/internal/sim"
 	"umanycore/internal/stats"
+	"umanycore/internal/telemetry"
 	"umanycore/internal/workload"
 )
 
@@ -51,6 +52,9 @@ type Machine struct {
 	trace *obs.Collector
 	mx    *machineMetrics
 	qlen  int // runnable invocations queued machine-wide (metrics only)
+	// tele receives measured end-to-end latencies when streaming telemetry
+	// is enabled (see EnableTelemetry in obs.go); nil disables at zero cost.
+	tele *telemetry.Sampler
 
 	invSeq uint64
 }
@@ -986,6 +990,9 @@ func (m *Machine) respond(inv *invocation) {
 			root := inv.svc.ID
 			m.eng.At(at, func() {
 				m.Latency.Add(lat)
+				if m.tele != nil {
+					m.tele.ObserveLatency(lat)
+				}
 				byRoot := m.LatencyByRoot[root]
 				if byRoot == nil {
 					byRoot = &stats.Sample{}

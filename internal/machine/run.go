@@ -8,6 +8,7 @@ import (
 	"umanycore/internal/obs"
 	"umanycore/internal/sim"
 	"umanycore/internal/stats"
+	"umanycore/internal/telemetry"
 	"umanycore/internal/workload"
 )
 
@@ -49,6 +50,11 @@ type RunConfig struct {
 	// recorded spans and metrics land in Result.Obs. Nil keeps every
 	// instrumentation site on its zero-cost disabled path.
 	Obs *obs.Options
+	// Telemetry, when non-nil, attaches the streaming telemetry sampler:
+	// periodic virtual-time snapshots of every metric, a mergeable latency
+	// sketch, and the SLO watchdog. Implies the metrics registry (created if
+	// Obs didn't request one). Nil costs nothing.
+	Telemetry *telemetry.Options
 }
 
 // normalized fills defaults.
@@ -99,6 +105,9 @@ type Result struct {
 	// Obs carries the run's spans and metrics snapshot when RunConfig.Obs
 	// enabled the observability layer; nil otherwise.
 	Obs *obs.Run
+	// Telemetry carries the run's time series, latency sketch and watchdog
+	// alerts when RunConfig.Telemetry enabled the sampler; nil otherwise.
+	Telemetry *telemetry.Run
 }
 
 // enginePool recycles simulation engines across runs: replicate loops (grid
@@ -135,7 +144,19 @@ func Run(cfg Config, rc RunConfig) *Result {
 		if rc.Obs.Metrics {
 			reg = obs.NewRegistry()
 		}
+	}
+	var tele *telemetry.Sampler
+	if rc.Telemetry != nil {
+		// The sampler snapshots the metrics registry, so telemetry implies
+		// one even when Obs didn't ask for it.
+		if reg == nil {
+			reg = obs.NewRegistry()
+		}
+		tele = telemetry.Start(eng, reg, rc.Duration+rc.Drain, *rc.Telemetry)
+	}
+	if col != nil || reg != nil {
 		m.EnableObs(col, reg)
+		m.tele = tele
 	}
 
 	var arrivalGap func() sim.Time
@@ -199,8 +220,10 @@ func Run(cfg Config, rc RunConfig) *Result {
 		MaxLinkUtil: icn.MaxUtilization(m.topo, rc.Duration),
 		Events:      eng.Fired(),
 	}
-	if rc.Obs != nil {
+	if reg != nil {
 		m.finishMetrics(eng, rc.Duration)
+	}
+	if rc.Obs != nil {
 		res.Obs = &obs.Run{}
 		if col != nil {
 			res.Obs.Spans = col.Spans()
@@ -208,6 +231,9 @@ func Run(cfg Config, rc RunConfig) *Result {
 		if reg != nil {
 			res.Obs.Metrics = reg.Snapshot(eng.Now())
 		}
+	}
+	if tele != nil {
+		res.Telemetry = tele.Finish(eng.Now())
 	}
 	return res
 }

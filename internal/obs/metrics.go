@@ -91,6 +91,25 @@ func (h *TimeHist) Observe(now sim.Time, v float64) {
 	h.n++
 }
 
+// Integral returns the value-time integral (in value·ps) over [first
+// observation, now], including the currently held value's open segment.
+// Differencing integrals at two sample points yields the exact windowed
+// time-weighted mean — the telemetry sampler's per-interval series.
+func (h *TimeHist) Integral(now sim.Time) float64 {
+	if !h.open {
+		return 0
+	}
+	return h.area + h.cur*float64(now-h.last)
+}
+
+// Cur returns the currently held value (0 before the first observation).
+func (h *TimeHist) Cur() float64 {
+	if !h.open {
+		return 0
+	}
+	return h.cur
+}
+
 // Mean returns the time-weighted mean over [first observation, end].
 func (h *TimeHist) Mean(end sim.Time) float64 {
 	if !h.open || end <= h.start {
@@ -152,6 +171,53 @@ func (r *Registry) TimeHist(name string) *TimeHist {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// LookupCounter returns the named counter without creating it.
+func (r *Registry) LookupCounter(name string) (*Counter, bool) {
+	c, ok := r.counters[name]
+	return c, ok
+}
+
+// LookupGauge returns the named gauge without creating it.
+func (r *Registry) LookupGauge(name string) (*Gauge, bool) {
+	g, ok := r.gauges[name]
+	return g, ok
+}
+
+// LookupTimeHist returns the named time-weighted histogram without
+// creating it.
+func (r *Registry) LookupTimeHist(name string) (*TimeHist, bool) {
+	h, ok := r.hists[name]
+	return h, ok
+}
+
+// Size returns the number of registered instruments. The telemetry sampler
+// polls it to detect lazily created instruments between ticks without
+// re-walking the maps.
+func (r *Registry) Size() int {
+	return len(r.counters) + len(r.gauges) + len(r.hists)
+}
+
+// Visit calls the per-class callbacks for every registered instrument.
+// Iteration order is unspecified (map order); callers needing determinism
+// sort the collected names themselves.
+func (r *Registry) Visit(counter func(string, *Counter), gauge func(string, *Gauge), hist func(string, *TimeHist)) {
+	if counter != nil {
+		for name, c := range r.counters {
+			counter(name, c)
+		}
+	}
+	if gauge != nil {
+		for name, g := range r.gauges {
+			gauge(name, g)
+		}
+	}
+	if hist != nil {
+		for name, h := range r.hists {
+			hist(name, h)
+		}
+	}
 }
 
 // Metric is one named value of a snapshot.

@@ -1,0 +1,52 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestJSONObjectFieldOrderAndFormat(t *testing.T) {
+	var o JSONObject
+	o.Str("machine", "uManycore").
+		Float("rps", 15000).
+		Int("n", 42).
+		Float("nan", math.NaN()).
+		Obj("nested", func(n *JSONObject) { n.Float("x", 0.5) }).
+		Raw("raw", []byte(`[1,2]`))
+	got := string(o.Bytes())
+	want := `{"machine":"uManycore","rps":15000,"n":42,"nan":0,"nested":{"x":0.5},"raw":[1,2]}`
+	if got != want {
+		t.Fatalf("got %s\nwant %s", got, want)
+	}
+	if !json.Valid([]byte(got)) {
+		t.Fatal("invalid JSON")
+	}
+}
+
+func TestJSONObjectEmpty(t *testing.T) {
+	var o JSONObject
+	if got := string(o.Bytes()); got != "{}" {
+		t.Fatalf("empty = %s", got)
+	}
+}
+
+// TestSummaryJSONUsesSharedEncoder pins the wire layout every tool shares.
+func TestSummaryJSONUsesSharedEncoder(t *testing.T) {
+	s := Summary{N: 3, Mean: 1.5, Median: 1, P99: math.Inf(1), Max: 2.25}
+	b, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"n":3,"mean":1.5,"p50":1,"p99":0,"max":2.25}`
+	if string(b) != want {
+		t.Fatalf("got %s want %s", b, want)
+	}
+	var back Summary
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N != 3 || back.Mean != 1.5 || back.Max != 2.25 {
+		t.Fatalf("round trip = %+v", back)
+	}
+}

@@ -9,8 +9,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"strconv"
-	"strings"
 )
 
 // Sample accumulates float64 observations and answers exact order statistics.
@@ -183,27 +181,17 @@ func (s Summary) String() string {
 }
 
 // MarshalJSON emits the summary with a fixed field order and shortest-exact
-// float formatting, so every tool serializing summaries (umprof, umbench,
-// umsim -metrics) produces byte-identical records for identical results.
+// float formatting (via JSONObject), so every tool serializing summaries
+// (umprof, umbench, umsim -metrics) produces byte-identical records for
+// identical results.
 func (s Summary) MarshalJSON() ([]byte, error) {
-	var b strings.Builder
-	b.WriteString(`{"n":`)
-	b.WriteString(strconv.Itoa(s.N))
-	for _, f := range [...]struct {
-		key string
-		v   float64
-	}{{"mean", s.Mean}, {"p50", s.Median}, {"p99", s.P99}, {"max", s.Max}} {
-		b.WriteString(`,"`)
-		b.WriteString(f.key)
-		b.WriteString(`":`)
-		v := f.v
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			v = 0 // JSON has no NaN/Inf; empty summaries serialize as zeros
-		}
-		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
-	}
-	b.WriteByte('}')
-	return []byte(b.String()), nil
+	var o JSONObject
+	o.Int("n", int64(s.N)).
+		Float("mean", s.Mean).
+		Float("p50", s.Median).
+		Float("p99", s.P99).
+		Float("max", s.Max)
+	return o.Bytes(), nil
 }
 
 // UnmarshalJSON accepts the MarshalJSON layout (and any key order).

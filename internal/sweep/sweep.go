@@ -55,6 +55,40 @@ func ResetBusy() { busyNanos.Store(0) }
 // estimates the achieved speedup over a sequential (-parallel 1) run.
 func Busy() time.Duration { return time.Duration(busyNanos.Load()) }
 
+// jobsDone / jobsTotal track sweep progress for live serving (telemetry's
+// /progress endpoint). Like busyNanos they live in the non-deterministic
+// wall-clock domain and never feed back into results.
+var (
+	jobsDone  atomic.Int64
+	jobsTotal atomic.Int64
+)
+
+// ResetProgress zeroes the progress counters and records total upcoming
+// jobs. Drivers call it once before a figure run so /progress shows a
+// meaningful denominator.
+func ResetProgress(total int) {
+	jobsDone.Store(0)
+	jobsTotal.Store(int64(total))
+}
+
+// Progress returns (done, total) jobs since the last ResetProgress. total
+// grows as Map calls register work when no ResetProgress preceded them.
+func Progress() (done, total int64) {
+	return jobsDone.Load(), jobsTotal.Load()
+}
+
+// ensureTotal raises jobsTotal so a Map call's items are always counted in
+// the denominator even without an explicit ResetProgress.
+func ensureTotal(n int) {
+	need := jobsDone.Load() + int64(n)
+	for {
+		t := jobsTotal.Load()
+		if t >= need || jobsTotal.CompareAndSwap(t, need) {
+			return
+		}
+	}
+}
+
 // Map runs fn over every item using at most `workers` goroutines (resolved
 // via Workers) and returns the results in input order. fn must be safe to
 // call concurrently for distinct items; determinism is preserved because
@@ -67,6 +101,7 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) R) []R {
 	if w > len(items) {
 		w = len(items)
 	}
+	ensureTotal(len(items))
 	out := make([]R, len(items))
 	if w <= 1 {
 		// Sequential fast path: identical results by construction, no
@@ -75,6 +110,7 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) R) []R {
 			start := time.Now()
 			out[i] = fn(i, item)
 			busyNanos.Add(int64(time.Since(start)))
+			jobsDone.Add(1)
 		}
 		return out
 	}
@@ -92,6 +128,7 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) R) []R {
 				start := time.Now()
 				out[i] = fn(i, items[i])
 				busyNanos.Add(int64(time.Since(start)))
+				jobsDone.Add(1)
 			}
 		}()
 	}

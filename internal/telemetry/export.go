@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"umanycore/internal/sim"
+	"umanycore/internal/textplot"
+)
+
+// WriteCSV writes the run's time series in long form — one row per
+// (series, point): `series,kind,t_us,value`. Rows are ordered by series
+// name then time, so the output is byte-stable for a given run.
+func (r *Run) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "series,kind,t_us,value\n"); err != nil {
+		return err
+	}
+	if r == nil || r.Timeline == nil {
+		return nil
+	}
+	var b strings.Builder
+	for _, s := range r.Timeline.Series() {
+		for _, p := range s.Points() {
+			b.Reset()
+			b.WriteString(s.Name)
+			b.WriteByte(',')
+			b.WriteString(s.Kind.String())
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatFloat(p.T.Micros(), 'g', -1, 64))
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatFloat(p.V, 'g', -1, 64))
+			b.WriteByte('\n')
+			if _, err := io.WriteString(w, b.String()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Dashboard renders a terminal summary of the run: one sparkline row per
+// series (name, braille sparkline over the retained window, last/min/max),
+// followed by the watchdog's alert log. width bounds the sparkline column;
+// <=0 uses 48 cells.
+func (r *Run) Dashboard(w io.Writer, width int) {
+	if width <= 0 {
+		width = 48
+	}
+	if r == nil || r.Timeline == nil {
+		fmt.Fprintln(w, "telemetry: no data")
+		return
+	}
+	names := r.Timeline.Names()
+	nameW := 0
+	for _, n := range names {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	var span sim.Time
+	for _, name := range names {
+		s := r.Timeline.Get(name)
+		if s.Len() == 0 {
+			continue
+		}
+		pts := s.Points()
+		if d := pts[len(pts)-1].T - pts[0].T; d > span {
+			span = d
+		}
+	}
+	fmt.Fprintf(w, "telemetry: %d series, interval %v, window %v\n", len(names), r.Interval, span)
+	for _, name := range names {
+		s := r.Timeline.Get(name)
+		vals := s.Values()
+		lo, hi := minMax(vals)
+		drop := ""
+		if s.Dropped > 0 {
+			drop = fmt.Sprintf("  (dropped %d)", s.Dropped)
+		}
+		fmt.Fprintf(w, "  %-*s %s  last=%-10.4g min=%-10.4g max=%-10.4g%s\n",
+			nameW, name, textplot.SparklineN(vals, width), s.Last().V, lo, hi, drop)
+	}
+	if r.Sketch != nil && r.Sketch.N() > 0 {
+		fmt.Fprintf(w, "  latency sketch: n=%d p50=%.1fus p99=%.1fus p99.9=%.1fus max=%.1fus (±%.0f%% rel err)\n",
+			r.Sketch.N(), r.Sketch.Quantile(0.5), r.Sketch.P99(), r.Sketch.Quantile(0.999),
+			r.Sketch.Max(), r.Sketch.Alpha()*100)
+	}
+	if len(r.Alerts) > 0 {
+		fmt.Fprintf(w, "  alerts (%d):\n", len(r.Alerts))
+		for _, a := range r.Alerts {
+			fmt.Fprintf(w, "    %s\n", a.String())
+		}
+	} else {
+		fmt.Fprintln(w, "  alerts: none")
+	}
+}
+
+func minMax(vals []float64) (lo, hi float64) {
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	lo, hi = vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// AlertNames returns the distinct rule names that fired at least once, in
+// sorted order — a compact determinism fingerprint for tests.
+func (r *Run) AlertNames() []string {
+	if r == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	for _, a := range r.Alerts {
+		if a.Firing {
+			seen[a.Rule] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

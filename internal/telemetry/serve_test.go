@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"umanycore/internal/obs"
+	"umanycore/internal/sim"
+	"umanycore/internal/stats"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	Publish(nil)
+	if code, _ := get(t, base+"/series.csv"); code != http.StatusNotFound {
+		t.Fatalf("series.csv with no run = %d, want 404", code)
+	}
+
+	tl := NewTimeline(sim.Millisecond, 8)
+	tl.Push("machine.admit.rq", obs.KindCounter, sim.Millisecond, 12)
+	tl.Push("sim.pending", obs.KindGauge, sim.Millisecond, 3)
+	sk := stats.NewSketch(stats.DefaultSketchAlpha)
+	for i := 1; i <= 100; i++ {
+		sk.Add(float64(i))
+	}
+	Publish(&Run{Interval: sim.Millisecond, Timeline: tl, Sketch: sk,
+		Alerts: []Alert{{Rule: "slo.p99", At: sim.Millisecond, Firing: true}}})
+
+	if code, body := get(t, base+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+
+	code, body := get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	for _, want := range []string{
+		"um_machine_admit_rq 12",
+		"um_sim_pending 3",
+		"um_latency_sketch_count 100",
+		`um_latency_us{quantile="0.99"}`,
+		"um_watchdog_alerts_total 1",
+		"um_sweep_jobs_done",
+		"# TYPE um_machine_admit_rq counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, base+"/progress")
+	if code != 200 {
+		t.Fatalf("progress = %d", code)
+	}
+	var prog struct {
+		Done, Total int64
+		ElapsedS    float64 `json:"elapsed_s"`
+		EtaS        float64 `json:"eta_s"`
+	}
+	if err := json.Unmarshal([]byte(body), &prog); err != nil {
+		t.Fatalf("progress json %q: %v", body, err)
+	}
+
+	code, body = get(t, base+"/series.csv")
+	if code != 200 || !strings.HasPrefix(body, "series,kind,t_us,value\n") {
+		t.Fatalf("series.csv = %d %q", code, body)
+	}
+	if !strings.Contains(body, "machine.admit.rq,counter,1000,12") {
+		t.Errorf("series.csv missing row:\n%s", body)
+	}
+
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("pprof cmdline = %d", code)
+	}
+}

@@ -121,6 +121,37 @@ func CDF(title string, pts []Point, cols, rows int) string {
 	return Line(title, pts, cols, rows, false)
 }
 
+// SparklineN renders values as a sparkline at most width cells wide,
+// downsampling by averaging equal spans when the series is longer — the
+// telemetry dashboard's per-series view. Shorter series render one cell
+// per value, space-padded to width for column alignment.
+func SparklineN(values []float64, width int) string {
+	if width <= 0 {
+		width = 48
+	}
+	if len(values) > width {
+		cells := make([]float64, width)
+		for i := range cells {
+			lo := i * len(values) / width
+			hi := (i + 1) * len(values) / width
+			if hi <= lo {
+				hi = lo + 1
+			}
+			sum := 0.0
+			for _, v := range values[lo:hi] {
+				sum += v
+			}
+			cells[i] = sum / float64(hi-lo)
+		}
+		values = cells
+	}
+	s := Sparkline(values)
+	if pad := width - len(values); pad > 0 {
+		s += strings.Repeat(" ", pad)
+	}
+	return s
+}
+
 // Sparkline compresses a series into a single line of block characters.
 func Sparkline(values []float64) string {
 	if len(values) == 0 {

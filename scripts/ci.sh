@@ -5,6 +5,14 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "== go vet =="
 go vet ./...
 
@@ -21,12 +29,13 @@ else
     go test -race ./...
 fi
 
-# The observability merge path and the sweep runner carry the repo's
-# determinism/race contracts; race-check them on every run, quick included.
-echo "== go test -race (obs + sweep) =="
-go test -race -short ./internal/obs/... ./internal/sweep/...
+# The observability merge path, the sweep runner, and the streaming-telemetry
+# layer carry the repo's determinism/race contracts; race-check them on every
+# run, quick included.
+echo "== go test -race (obs + sweep + telemetry) =="
+go test -race -short ./internal/obs/... ./internal/sweep/... ./internal/telemetry/...
 
-echo "== bench smoke (allocation + sweep benchmarks, 1 iteration) =="
+echo "== bench smoke (allocation + sweep + telemetry benchmarks, 1 iteration) =="
 go test -run xxx -bench 'BenchmarkEngine|BenchmarkMachineRun' -benchtime 1x \
     -benchmem ./internal/sim/ ./internal/machine/
 go test -run xxx -bench 'BenchmarkEndToEndGridWorkers' -benchtime 1x .

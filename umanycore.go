@@ -34,6 +34,7 @@ import (
 	"umanycore/internal/power"
 	"umanycore/internal/sim"
 	"umanycore/internal/stats"
+	"umanycore/internal/telemetry"
 	"umanycore/internal/workload"
 )
 
@@ -79,6 +80,33 @@ type (
 //
 //	rc.Obs = umanycore.DefaultObs()
 func DefaultObs() *ObsOptions { return obs.DefaultOptions() }
+
+// Streaming telemetry types (see OBSERVABILITY.md).
+type (
+	// TelemetryOptions configures the streaming telemetry sampler (set on
+	// RunConfig.Telemetry; nil disables the layer at zero cost).
+	TelemetryOptions = telemetry.Options
+	// TelemetryRun bundles a run's time series, latency sketch and
+	// watchdog alerts.
+	TelemetryRun = telemetry.Run
+	// SLORule is one windowed watchdog condition.
+	SLORule = telemetry.Rule
+	// SLOAlert is one watchdog fire/resolve transition at virtual time.
+	SLOAlert = telemetry.Alert
+	// Sketch is a mergeable relative-error quantile sketch.
+	Sketch = stats.Sketch
+)
+
+// DefaultTelemetry enables the streaming sampler with its defaults (1ms
+// interval, 4096-point rings, 1% sketch error) and the standard SLO
+// watchdog against a P99 objective in microseconds:
+//
+//	rc.Telemetry = umanycore.DefaultTelemetry(500)
+func DefaultTelemetry(p99TargetMicros float64) *TelemetryOptions {
+	o := telemetry.DefaultOptions()
+	o.Rules = telemetry.DefaultRules(p99TargetMicros)
+	return o
+}
 
 // AnalyzeTail extracts the per-stage tail-blame report for the slowest
 // topFrac of traced requests (0.01 = the paper-style slowest 1%).
