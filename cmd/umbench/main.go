@@ -5,7 +5,7 @@
 //
 //	umbench [-quick] [-seed N] [-parallel N] [-figures 1,2,3,...] [-json FILE]
 //
-// Figure names: 1 2 3 4 5 6 7 8 9 e2e 15 18 19 20 68 power. Default: all.
+// Figure names: 1 2 3 4 5 6 7 8 9 e2e 15 18 19 20 68 power lb. Default: all.
 // -parallel bounds the sweep worker pool (default: all cores); output is
 // bit-identical for any value.
 package main
@@ -32,7 +32,7 @@ func main() {
 	flag.StringVar(&jsonOut, "json", "", "also write the e2e grid as JSON to FILE ('-' for stdout); latency objects use the stats.Summary encoding shared with umprof/umsim")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	parallel := flag.Int("parallel", 0, "sweep workers (<=0: all cores); results are identical for any value")
-	figures := flag.String("figures", "all", "comma-separated figure list (1..9, e2e, 15, 18, 19, 20, 68, power)")
+	figures := flag.String("figures", "all", "comma-separated figure list (1..9, e2e, 15, 18, 19, 20, 68, power, lb)")
 	serve := flag.String("serve", "", "serve live /metrics, /healthz, /progress (sweep cells done + ETA) and pprof on this address during the regeneration (e.g. :9090)")
 	flag.Parse()
 
@@ -59,7 +59,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *figures == "all" {
-		for _, f := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "e2e", "15", "18", "19", "20", "68", "power"} {
+		for _, f := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "e2e", "15", "18", "19", "20", "68", "power", "lb"} {
 			want[f] = true
 		}
 	} else {
@@ -88,6 +88,7 @@ func main() {
 		{"20", func() { fig20(o) }},
 		{"68", func() { sec68(o) }},
 		{"power", func() { powerTable() }},
+		{"lb", func() { fleetLB(o) }},
 	}
 	workers := sweep.Workers(o.Parallel)
 	var totalWall, totalBusy time.Duration
@@ -346,6 +347,16 @@ func sec68(o umanycore.ExperimentOptions) {
 	fmt.Printf("mean tail ratio: %.2fx (paper: 7.3x)\n", res.MeanTailRatio)
 	fmt.Printf("power ratio:     %.2fx (paper: 3.2x)\n", res.PowerRatio)
 	fmt.Printf("area ratio:      %.2fx (iso-area by construction)\n", res.AreaRatio)
+}
+
+func fleetLB(o umanycore.ExperimentOptions) {
+	header("Load-balancer study: coupled 4-server uManycore fleet, one 3x straggler, P99 [us]")
+	fmt.Printf("%-7s %10s %10s %10s %10s %10s %10s\n",
+		"policy", "rps/srv", "mean", "p99", "tail/avg", "rejected", "remote")
+	for _, r := range umanycore.FleetLB(o) {
+		fmt.Printf("%-7s %10.0f %10.1f %10.1f %10.2f %10d %10d\n",
+			r.Policy, r.PerServerRPS, r.MeanMicros, r.P99Micros, r.TailToAvg, r.Rejected, r.RemoteServed)
+	}
 }
 
 func powerTable() {

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"umanycore"
+	"umanycore/internal/fleet"
 	"umanycore/internal/obs"
 	"umanycore/internal/sim"
 	"umanycore/internal/stats"
@@ -39,7 +40,9 @@ func main() {
 	duration := flag.Duration("duration", 400*time.Millisecond, "arrival window (simulated)")
 	warmup := flag.Duration("warmup", 80*time.Millisecond, "measurement warmup (simulated)")
 	seed := flag.Int64("seed", 1, "simulation seed")
-	servers := flag.Int("servers", 0, "run a fleet of N servers (0 = single machine); traces merge across servers")
+	servers := flag.Int("servers", 0, "run a coupled fleet of N servers (0 = single machine); traces merge across servers")
+	lb := flag.String("lb", "", "fleet load-balancer policy: rr | rand | least | p2c (default rr; needs -servers)")
+	skew := flag.String("skew", "", "comma-separated per-server slowdown factors, e.g. 1,1,2 (needs -servers)")
 	top := flag.Float64("top", 1, "tail fraction to analyze, in percent (1 = slowest 1%)")
 	traceOut := flag.String("trace", "", "also write a Chrome/Perfetto trace-event JSON to FILE")
 	spansOut := flag.String("spans", "", "also write every span as CSV to FILE")
@@ -95,9 +98,20 @@ func main() {
 	if *servers > 0 {
 		fc := umanycore.DefaultFleet(cfg)
 		fc.Servers = *servers
+		fc.LB = *lb
+		if _, err := fleet.ParseLB(*lb); err != nil {
+			fatal(err)
+		}
+		if *skew != "" {
+			slow, err := parseSkew(*skew)
+			if err != nil {
+				fatal(err)
+			}
+			fc.Slowdown = slow
+		}
 		fres := umanycore.RunFleet(fc, app, *rps, rc, *seed)
 		orun, trun, latency = fres.Obs, fres.Telemetry, fres.Latency
-		label = fmt.Sprintf("%s x%d servers", fres.Machine, *servers)
+		label = fmt.Sprintf("%s x%d servers (%s)", fres.Machine, *servers, fres.Balancer)
 	} else {
 		res := umanycore.Run(cfg, rc)
 		orun, trun, latency = res.Obs, res.Telemetry, res.Latency
@@ -207,6 +221,20 @@ func writeFile(path string, fn func(*os.File) error) error {
 		return err
 	}
 	return f.Close()
+}
+
+// parseSkew parses the -skew list of per-server slowdown factors.
+func parseSkew(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || f <= 0 {
+			return nil, fmt.Errorf("bad slowdown factor %q (want positive numbers, e.g. -skew 1,1,2)", p)
+		}
+		out = append(out, f)
+	}
+	return out, nil
 }
 
 func pctDiff(a, b float64) float64 {

@@ -51,6 +51,36 @@ func TestJSONGolden(t *testing.T) {
 	}
 }
 
+// TestFleetP2CJSONGolden pins the coupled-fleet path byte for byte: two
+// servers (one 2× straggler), power-of-two-choices routing, cross-server
+// RPCs shipped between the servers, traces merged across both. The line
+// only moves when the fleet coupling or wire format deliberately changes.
+func TestFleetP2CJSONGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	stdout, stderr, code := runMain(t,
+		"-app", "Text", "-rps", "8000", "-duration", "40ms", "-warmup", "10ms",
+		"-servers", "2", "-lb", "p2c", "-skew", "1,2", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	want := `{"machine":"uManycore x2 servers (p2c)","app":"Text","rps":8000,"latency":{"n":219,"mean":676.2036501598172,"p50":660.224211,"p99":995.893734,"max":1195.53049},"tail":{"top_frac":0.01,"traced":219,"analyzed":3,"cutoff_us":995.894,"traced_p99_us":995.894,"by_stage_us":{"ingress":3.600,"sched":0.216,"ctxswitch":2.304,"service":2555.535,"storage":561.960,"net":76.248},"residual_ps":0}}` + "\n"
+	if stdout != want {
+		t.Fatalf("fleet json output drifted:\ngot:  %swant: %s", stdout, want)
+	}
+}
+
+func TestBadLBExits(t *testing.T) {
+	_, stderr, code := runMain(t, "-servers", "2", "-lb", "bogus")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown load-balancer policy") {
+		t.Fatalf("stderr %q", stderr)
+	}
+}
+
 func TestBadArchExits(t *testing.T) {
 	_, stderr, code := runMain(t, "-arch", "bogus")
 	if code != 2 {

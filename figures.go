@@ -43,6 +43,9 @@ type (
 	Fig20Row = experiments.Fig20Row
 	// Sec68Result is the §6.8 iso-area study.
 	Sec68Result = experiments.Sec68Result
+	// FleetLBRow is one (policy, load) point of the coupled-fleet
+	// load-balancer study.
+	FleetLBRow = experiments.FleetLBRow
 )
 
 // Fig1 regenerates Figure 1: four published microarchitectural
@@ -118,3 +121,8 @@ func Fig20(o ExperimentOptions) []Fig20Row { return experiments.Fig20(o) }
 // Sec68 regenerates §6.8: the iso-area 128-core ServerClass comparison,
 // including the power and area ratios from the CACTI/McPAT stand-in.
 func Sec68(o ExperimentOptions) Sec68Result { return experiments.Sec68(o) }
+
+// FleetLB compares load-balancer routing policies (round-robin, uniform
+// random, least-outstanding, power-of-two-choices) on a coupled fleet with
+// one 3×-slower straggler: P99 vs offered load per policy.
+func FleetLB(o ExperimentOptions) []FleetLBRow { return experiments.FleetLB(o) }

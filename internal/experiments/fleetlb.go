@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"umanycore/internal/fleet"
+	"umanycore/internal/machine"
+	"umanycore/internal/sweep"
+)
+
+// FleetLBRow is one (policy, per-server load) point of the load-balancer
+// study on the coupled fleet: end-to-end latency when requests are routed
+// by a real front-end policy instead of the ideal uniform split.
+type FleetLBRow struct {
+	Policy string
+	// PerServerRPS is the offered load divided by the fleet size (the
+	// x-axis shared with the paper's per-server load points).
+	PerServerRPS float64
+	// TotalRPS is the fleet-wide offered load.
+	TotalRPS   float64
+	MeanMicros float64
+	P99Micros  float64
+	TailToAvg  float64
+	// Rejected counts requests dropped at admission across the fleet.
+	Rejected uint64
+	// RemoteServed counts cross-server child RPCs shipped between servers.
+	RemoteServed uint64
+}
+
+// fleetLBConfig is the study's fleet: μManycore servers, one straggler
+// running 3× slower — the skew that separates queue-aware policies from
+// oblivious ones. Call chains stay mostly local (cross-server fraction 0.1
+// instead of the default 0.5): with heavy cross-server fan-out every
+// request samples the straggler through its children no matter where the
+// balancer put it, which washes out the routing comparison the study is
+// about.
+func fleetLBConfig() fleet.Config {
+	fc := fleet.DefaultConfig(machine.UManycoreConfig())
+	fc.Servers = 4
+	fc.Slowdown = []float64{1, 1, 1, 3}
+	fc.CrossServerFrac = 0.1
+	return fc
+}
+
+// FleetLB compares load-balancer policies on a skewed coupled fleet: P99 vs
+// offered load for round-robin, uniform-random, least-outstanding and
+// power-of-two-choices routing over the same arrival sequences. Uniform
+// random keeps sending the straggler its full 1/N share, so its queue —
+// and the fleet tail — grows with load; queue-aware policies steer around
+// it. Each coupled fleet is one single-threaded simulation; the sweep
+// parallelizes across (policy, load) cells, and rows are bit-identical for
+// any Parallel value.
+func FleetLB(o Options) []FleetLBRow {
+	o = o.normalized()
+	app := appNamed("HomeT")
+	policies := fleet.Policies()
+	grid := sweep.Map2(o.Parallel, policies, o.Loads,
+		func(policy string, perServer float64) *fleet.Result {
+			fc := fleetLBConfig()
+			fc.LB = policy
+			total := perServer * float64(fc.Servers)
+			// Policies at one load share a seed: the comparison is paired
+			// over identical arrival processes.
+			seed := o.jobSeed(fmt.Sprintf("fleetlb/%g", perServer))
+			return fleet.Run(fc, app, total, o.runCfg(app, total), seed)
+		})
+	rows := make([]FleetLBRow, 0, len(policies)*len(o.Loads))
+	for i, policy := range policies {
+		for j, perServer := range o.Loads {
+			res := grid[i][j]
+			rows = append(rows, FleetLBRow{
+				Policy:       policy,
+				PerServerRPS: perServer,
+				TotalRPS:     res.TotalRPS,
+				MeanMicros:   res.Latency.Mean,
+				P99Micros:    res.Latency.P99,
+				TailToAvg:    res.TailToAvg,
+				Rejected:     res.Rejected,
+				RemoteServed: res.RemoteServed,
+			})
+		}
+	}
+	return rows
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+func fleetLBTestOptions() Options {
+	o := DefaultOptions().Quick()
+	o.Loads = []float64{8000, 12000}
+	return o
+}
+
+// TestFleetLBPoliciesSeparate pins the study's headline result: on the
+// skewed fleet, power-of-two-choices keeps the tail at or below uniform
+// random at every load (random keeps feeding the straggler its full share).
+func TestFleetLBPoliciesSeparate(t *testing.T) {
+	rows := FleetLB(fleetLBTestOptions())
+	byPolicy := make(map[string]map[float64]FleetLBRow)
+	for _, r := range rows {
+		if byPolicy[r.Policy] == nil {
+			byPolicy[r.Policy] = make(map[float64]FleetLBRow)
+		}
+		byPolicy[r.Policy][r.PerServerRPS] = r
+		if r.P99Micros <= 0 || r.MeanMicros <= 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+		if r.RemoteServed == 0 {
+			t.Fatalf("no cross-server coupling in row %+v", r)
+		}
+	}
+	if len(byPolicy) != 4 {
+		t.Fatalf("policies = %v", len(byPolicy))
+	}
+	for load, rnd := range byPolicy["rand"] {
+		p2c := byPolicy["p2c"][load]
+		if p2c.P99Micros > rnd.P99Micros {
+			t.Errorf("load %v: p2c P99 %.1fus > uniform-random %.1fus",
+				load, p2c.P99Micros, rnd.P99Micros)
+		}
+	}
+}
+
+// TestFleetLBDeterministic: coupled fleets inside the sweep give identical
+// rows for any worker count.
+func TestFleetLBDeterministic(t *testing.T) {
+	o := fleetLBTestOptions()
+	o.Loads = o.Loads[:1]
+	o.Parallel = 1
+	seq := FleetLB(o)
+	o.Parallel = 4
+	par := FleetLB(o)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("FleetLB rows depend on sweep worker count")
+	}
+}

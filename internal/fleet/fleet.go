@@ -1,13 +1,27 @@
-// Package fleet models the paper's 10-server evaluation cluster (§5): each
-// server runs one of the three processors, client load is balanced across
-// servers, and a fraction of child RPCs cross servers over the inter-server
-// network (Table 2: 1μs round trip, 200GB/s).
+// Package fleet models the paper's 10-server evaluation cluster (§5): N
+// servers behind a front-end load balancer, with a fraction of child RPCs
+// crossing servers over the inter-server network (Table 2: 1μs round trip,
+// 200GB/s).
 //
-// Servers are statistically identical under the load balancer, so the fleet
-// simulates each server independently (with its share of the load, a
-// distinct seed, and cross-server RPC latency applied probabilistically)
-// and merges the latency samples. This symmetric-server approximation is
-// exact in distribution for a balanced fleet of identical machines.
+// Run couples the whole fleet inside one simulation engine: a fleet-level
+// dispatcher routes each arriving request to a server through a pluggable
+// Balancer policy (round-robin, uniform-random, least-outstanding,
+// power-of-two-choices), and a child RPC that draws the cross-server
+// lottery actually lands on a peer server's run queue — it competes for the
+// peer's cores and queues, pays the inter-server RTT both ways, and its
+// response resumes the parent on the originating server. Per-server
+// Slowdown factors model stragglers and heterogeneous fleets. Because every
+// server shares one single-threaded event loop, results are bit-identical
+// across repetitions and across sweep worker counts, and a one-server fleet
+// reproduces a plain machine.Run exactly.
+//
+// RunIndependent keeps the older symmetric-server fast path: each server
+// simulates alone with its share of the load and cross-server RPCs
+// approximated by a probabilistic latency add on locally-executed children.
+// That approximation ignores the load the peers would actually absorb and
+// the queueing correlation it creates, so it underestimates cross-server
+// tail effects — it is a throughput-cheap screening tool (servers fan out
+// across sweep workers), not an exact model.
 package fleet
 
 import (
@@ -29,13 +43,27 @@ type Config struct {
 	// CrossServerFrac is the probability a child RPC targets another
 	// server. With instances spread over N servers and uniform routing it
 	// is (N-1)/N, but deployments keep call chains local; 0.5 is the
-	// default.
+	// default. A one-server fleet has no peers, so the effective fraction
+	// clamps to zero when Servers == 1.
 	CrossServerFrac float64
 	// InterServerRTT is the server-to-server round trip (Table 2: 1μs).
 	InterServerRTT sim.Time
-	// Parallel caps the worker count for the per-server fan-out (0 = one
-	// worker per CPU). Results are identical for any value; tests use it to
-	// check merge order-independence.
+	// LB names the load-balancer policy for the coupled Run: "rr"
+	// (round-robin, the default), "rand", "least", or "p2c" — see ParseLB.
+	// RunIndependent splits load evenly and ignores it.
+	LB string
+	// NewBalancer, when non-nil, overrides LB with a custom policy factory.
+	// Run calls it once per invocation so stateful policies (round-robin's
+	// counter) never share state across parallel sweep cells.
+	NewBalancer func() Balancer
+	// Slowdown models a heterogeneous fleet: server s's compute runs
+	// Slowdown[s]× slower (its PerfFactor is divided by the entry). Missing,
+	// zero or negative entries mean 1.0 (no slowdown).
+	Slowdown []float64
+	// Parallel caps the worker count for RunIndependent's per-server
+	// fan-out (0 = one worker per CPU); results are identical for any
+	// value. The coupled Run is one event loop and ignores it — parallelism
+	// over coupled fleets belongs at the sweep level (cells, replicates).
 	Parallel int
 }
 
@@ -50,6 +78,39 @@ func DefaultConfig(m machine.Config) Config {
 	}
 }
 
+// crossFrac is the effective cross-server probability: zero for a
+// one-server fleet (no peers exist), CrossServerFrac otherwise.
+func (fc Config) crossFrac() float64 {
+	if fc.Servers <= 1 {
+		return 0
+	}
+	return fc.CrossServerFrac
+}
+
+// balancer instantiates the configured policy (fresh per run).
+func (fc Config) balancer() Balancer {
+	if fc.NewBalancer != nil {
+		return fc.NewBalancer()
+	}
+	mk, err := ParseLB(fc.LB)
+	if err != nil {
+		panic(err)
+	}
+	return mk()
+}
+
+// serverConfig is server s's machine configuration: the shared base with
+// the fleet coupling applied, slowed by Slowdown[s] when configured.
+func (fc Config) serverConfig(s int, cross float64) machine.Config {
+	mcfg := fc.Machine
+	mcfg.RemoteCallFrac = cross
+	mcfg.RemoteRTT = fc.InterServerRTT
+	if s < len(fc.Slowdown) && fc.Slowdown[s] > 0 {
+		mcfg.PerfFactor /= fc.Slowdown[s]
+	}
+	return mcfg
+}
+
 // Result aggregates per-server results.
 type Result struct {
 	Machine                        string
@@ -59,6 +120,12 @@ type Result struct {
 	TailToAvg                      float64
 	Submitted, Completed, Rejected uint64
 	Unfinished                     int64
+	// Balancer names the routing policy (coupled Run only; empty for
+	// RunIndependent, which models a uniform split).
+	Balancer string
+	// RemoteServed counts child RPCs served on behalf of peer servers
+	// (coupled Run only; the independent path never ships work).
+	RemoteServed uint64
 	// MeanUtilization averages server core utilization.
 	MeanUtilization float64
 	// PerServer keeps the individual results.
@@ -71,22 +138,158 @@ type Result struct {
 	Telemetry *telemetry.Run
 }
 
-// Run drives the fleet at totalRPS (split evenly across servers) and merges
-// the results.
+// Run drives the coupled fleet at totalRPS: every server lives in one
+// simulation engine, a Balancer routes each arrival, and cross-server child
+// RPCs execute on the peer they target. Deterministic in (fc, app,
+// totalRPS, rc, seed) alone — worker counts and wall-clock never enter.
 func Run(fc Config, app *workload.App, totalRPS float64, rc machine.RunConfig, seed int64) *Result {
 	if fc.Servers <= 0 {
 		panic("fleet: need at least one server")
 	}
-	mcfg := fc.Machine
-	mcfg.RemoteCallFrac = fc.CrossServerFrac
-	mcfg.RemoteRTT = fc.InterServerRTT
+	cross := fc.crossFrac()
+	rc = rc.Normalized()
+	rc.App = app
+	rc.RPS = totalRPS / float64(fc.Servers)
+	rc.Seed = seed
 
-	merged := &stats.Sample{}
-	out := &Result{Machine: mcfg.Name, App: app.Name, TotalRPS: totalRPS}
-	var utilSum float64
-	// Servers are independent simulations with per-server seeds; fan them
-	// out and merge in server order, so the fleet result is identical for
-	// any worker count.
+	eng := sim.NewEngine(seed)
+
+	// Build the servers. The setup sequence for each mirrors machine.Run —
+	// machine, measurement window, observability, telemetry — so a
+	// one-server fleet schedules the exact same event sequence as a plain
+	// run and reproduces it bit-for-bit.
+	machines := make([]*machine.Machine, fc.Servers)
+	cols := make([]*obs.Collector, fc.Servers)
+	regs := make([]*obs.Registry, fc.Servers)
+	teles := make([]*telemetry.Sampler, fc.Servers)
+	for s := range machines {
+		mcfg := fc.serverConfig(s, cross)
+		var m *machine.Machine
+		if len(rc.Mix) > 0 {
+			m = machine.NewMix(eng, mcfg, app.Catalog, rc.Mix)
+		} else {
+			m = machine.New(eng, mcfg, app)
+		}
+		m.SetMeasureFrom(rc.Warmup)
+
+		var col *obs.Collector
+		var reg *obs.Registry
+		if rc.Obs != nil {
+			if rc.Obs.Trace {
+				col = obs.NewCollector()
+			}
+			if rc.Obs.Metrics {
+				reg = obs.NewRegistry()
+			}
+		}
+		var tele *telemetry.Sampler
+		if rc.Telemetry != nil {
+			if reg == nil {
+				reg = obs.NewRegistry()
+			}
+			topt := *rc.Telemetry
+			// The engine is shared: record its vitals once (server 0), not
+			// once per server, so the merged sim.* series stay meaningful.
+			topt.NoEngineVitals = topt.NoEngineVitals || s > 0
+			tele = telemetry.Start(eng, reg, rc.Duration+rc.Drain, topt)
+		}
+		if col != nil || reg != nil {
+			m.EnableObs(col, reg)
+			m.EnableTelemetry(tele)
+		}
+		machines[s], cols[s], regs[s], teles[s] = m, col, reg, tele
+	}
+
+	// Couple the servers: a child RPC that draws the cross-server lottery
+	// departs its server, crosses the inter-server wire, and enqueues on a
+	// uniformly random peer; the response retraces the path. Peer choice
+	// draws from a dedicated stream so it never perturbs the servers' own
+	// randomness.
+	if fc.Servers > 1 && cross > 0 {
+		peerRng := eng.Rand("fleet-peer")
+		for s := range machines {
+			src := s
+			machines[src].SetRemoteSender(func(svcID int, depart sim.Time, respond func(done sim.Time)) {
+				p := peerRng.Intn(fc.Servers - 1)
+				if p >= src {
+					p++
+				}
+				eng.At(depart, func() { machines[p].SubmitRemote(svcID, respond) })
+			})
+		}
+	}
+
+	// Fleet-level dispatcher: one open-loop arrival process at the total
+	// rate, each arrival routed by the balancer. With one server the
+	// balancer returns 0 without touching its stream, so the arrival
+	// sequence matches machine.Run's exactly.
+	bal := fc.balancer()
+	lbRng := eng.Rand("fleet-lb")
+	view := View{
+		Servers:     fc.Servers,
+		Outstanding: func(s int) int { return machines[s].OutstandingRoots() },
+	}
+	gap := machine.ArrivalGap(eng, rc, totalRPS)
+	var schedule func()
+	schedule = func() {
+		if eng.Now() >= rc.Duration {
+			return
+		}
+		machines[bal.Pick(lbRng, view)].SubmitRoot()
+		eng.After(gap(), schedule)
+	}
+	eng.At(gap(), schedule)
+	eng.RunUntil(rc.Duration + rc.Drain)
+
+	// Per-server results, assembled in server order like machine.Run's
+	// tail: statistics, machine metrics, engine metrics (once — the engine
+	// is shared), observability snapshot, telemetry.
+	perServer := make([]*machine.Result, fc.Servers)
+	for s, m := range machines {
+		res := machine.BuildResult(m, eng, rc)
+		if regs[s] != nil {
+			m.FinishMachineMetrics(rc.Duration)
+			if s == 0 {
+				machine.RecordEngineMetrics(regs[s], eng)
+			}
+		}
+		if rc.Obs != nil {
+			res.Obs = &obs.Run{}
+			if cols[s] != nil {
+				res.Obs.Spans = cols[s].Spans()
+			}
+			if regs[s] != nil {
+				res.Obs.Metrics = regs[s].Snapshot(eng.Now())
+			}
+		}
+		if teles[s] != nil {
+			res.Telemetry = teles[s].Finish(eng.Now())
+		}
+		perServer[s] = res
+	}
+
+	out := aggregate(fc, app, totalRPS, rc, perServer)
+	out.Balancer = bal.Name()
+	for _, m := range machines {
+		out.RemoteServed += m.RemoteServed
+	}
+	return out
+}
+
+// RunIndependent drives the fleet with the symmetric-server approximation:
+// each server simulates independently with its share of the load and a
+// distinct derived seed, cross-server RPCs modeled as a probabilistic
+// latency add on locally-run children. Cheap (servers fan out across
+// Parallel workers) but approximate — see the package comment. Balancer
+// policies do not apply; the even split models an ideal uniform balancer.
+func RunIndependent(fc Config, app *workload.App, totalRPS float64, rc machine.RunConfig, seed int64) *Result {
+	if fc.Servers <= 0 {
+		panic("fleet: need at least one server")
+	}
+	cross := fc.crossFrac()
+	// Servers are independent simulations with per-server derived seeds;
+	// fan them out and merge in server order, so the fleet result is
+	// identical for any worker count.
 	servers := make([]int, fc.Servers)
 	for s := range servers {
 		servers[s] = s
@@ -95,9 +298,18 @@ func Run(fc Config, app *workload.App, totalRPS float64, rc machine.RunConfig, s
 		srun := rc
 		srun.App = app
 		srun.RPS = totalRPS / float64(fc.Servers)
-		srun.Seed = seed + int64(s)*7919
-		return machine.Run(mcfg, srun)
+		srun.Seed = sim.DeriveSeed(seed, int64(s))
+		return machine.Run(fc.serverConfig(s, cross), srun)
 	})
+	return aggregate(fc, app, totalRPS, rc, perServer)
+}
+
+// aggregate merges per-server results (in server order) into one fleet
+// result — the shared tail of Run and RunIndependent.
+func aggregate(fc Config, app *workload.App, totalRPS float64, rc machine.RunConfig, perServer []*machine.Result) *Result {
+	merged := &stats.Sample{}
+	out := &Result{Machine: fc.Machine.Name, App: app.Name, TotalRPS: totalRPS}
+	var utilSum float64
 	for _, res := range perServer {
 		out.PerServer = append(out.PerServer, res)
 		out.Submitted += res.Submitted
@@ -109,12 +321,20 @@ func Run(fc Config, app *workload.App, totalRPS float64, rc machine.RunConfig, s
 			merged.Add(v)
 		}
 	}
-	out.Latency = merged.Summarize()
-	out.TailToAvg = merged.TailToAvg()
+	if len(perServer) == 1 {
+		// Nothing to merge — reuse the server's own summary, whose mean was
+		// accumulated in arrival order (re-adding the sorted values would
+		// round the sum differently in the last bit).
+		out.Latency = perServer[0].Latency
+		out.TailToAvg = perServer[0].TailToAvg
+	} else {
+		out.Latency = merged.Summarize()
+		out.TailToAvg = merged.TailToAvg()
+	}
 	out.MeanUtilization = utilSum / float64(fc.Servers)
 	if rc.Obs != nil {
-		// Per-worker collectors merge on the reassembled (server-order)
-		// results, so the fleet trace is identical for any Parallel value.
+		// Per-server runs merge on the server-order slice, so the fleet
+		// trace never depends on completion or worker order.
 		runs := make([]*obs.Run, len(perServer))
 		for i, res := range perServer {
 			runs[i] = res.Obs
@@ -123,7 +343,7 @@ func Run(fc Config, app *workload.App, totalRPS float64, rc machine.RunConfig, s
 	}
 	if rc.Telemetry != nil {
 		// Same order contract as Obs: merge on the server-order slice, never
-		// on completion order, so Parallel doesn't change the result.
+		// on completion order.
 		runs := make([]*telemetry.Run, len(perServer))
 		for i, res := range perServer {
 			runs[i] = res.Telemetry

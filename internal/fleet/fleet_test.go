@@ -1,10 +1,14 @@
 package fleet
 
 import (
+	"reflect"
 	"testing"
 
 	"umanycore/internal/machine"
+	"umanycore/internal/obs"
 	"umanycore/internal/sim"
+	"umanycore/internal/sweep"
+	"umanycore/internal/telemetry"
 	"umanycore/internal/workload"
 )
 
@@ -74,4 +78,230 @@ func TestFleetPanicsWithoutServers(t *testing.T) {
 		}
 	}()
 	Run(Config{}, homeT(t), 100, machine.RunConfig{}, 1)
+}
+
+// TestOneServerFleetMatchesMachineRun pins the coupled runner's degenerate
+// case and the CrossServerFrac clamp: a 1-server fleet — even with the
+// DefaultConfig's CrossServerFrac of 0.5 — must reproduce a plain
+// machine.Run bit-for-bit, observability layers included.
+func TestOneServerFleetMatchesMachineRun(t *testing.T) {
+	app := homeT(t)
+	rc := machine.RunConfig{
+		Duration:  100 * sim.Millisecond,
+		Warmup:    20 * sim.Millisecond,
+		Drain:     sim.Second,
+		Obs:       &obs.Options{Trace: true, Metrics: true},
+		Telemetry: &telemetry.Options{},
+	}
+	fc := DefaultConfig(machine.UManycoreConfig())
+	fc.Servers = 1
+
+	fres := Run(fc, app, 12000, rc, 7)
+	if fres.RemoteServed != 0 {
+		t.Fatalf("1-server fleet shipped %d remote RPCs; CrossServerFrac not clamped", fres.RemoteServed)
+	}
+
+	mrc := rc
+	mrc.App = app
+	mrc.RPS = 12000
+	mrc.Seed = 7
+	mres := machine.Run(machine.UManycoreConfig(), mrc)
+	// Normalize the timelines' lazily-built name caches (fleet merging
+	// already materialized one side's); the series data is what matters.
+	fres.PerServer[0].Telemetry.Timeline.Names()
+	mres.Telemetry.Timeline.Names()
+	if !reflect.DeepEqual(fres.PerServer[0], mres) {
+		t.Fatalf("1-server fleet != machine.Run:\nfleet:   %+v\nmachine: %+v", fres.PerServer[0], mres)
+	}
+	if fres.Latency != mres.Latency {
+		t.Fatalf("aggregate latency drifted: %+v vs %+v", fres.Latency, mres.Latency)
+	}
+}
+
+// TestCoupledFleetDeterministic pins the coupled runner's determinism
+// contract: repeat runs are bit-identical, and running replicates inside a
+// sweep gives the same results for 1 worker and many.
+func TestCoupledFleetDeterministic(t *testing.T) {
+	app := homeT(t)
+	rc := machine.RunConfig{
+		Duration:  60 * sim.Millisecond,
+		Warmup:    10 * sim.Millisecond,
+		Drain:     500 * sim.Millisecond,
+		Obs:       &obs.Options{Trace: true, Metrics: true},
+		Telemetry: &telemetry.Options{},
+	}
+	fc := DefaultConfig(machine.UManycoreConfig())
+	fc.Servers = 3
+	fc.LB = "p2c"
+
+	a := Run(fc, app, 20000, rc, 11)
+	b := Run(fc, app, 20000, rc, 11)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("repeat coupled runs differ")
+	}
+
+	reps := []int64{11, 12, 13, 14}
+	runReps := func(workers int) []*Result {
+		return sweep.Map(workers, reps, func(_ int, seed int64) *Result {
+			return Run(fc, app, 20000, rc, seed)
+		})
+	}
+	if !reflect.DeepEqual(runReps(1), runReps(4)) {
+		t.Fatal("coupled fleet results depend on sweep worker count")
+	}
+}
+
+// TestCoupledCrossServerRPCs checks the real coupling: with a cross-server
+// fraction, peer servers actually serve shipped child RPCs, and the wire
+// time is visible in the latency.
+func TestCoupledCrossServerRPCs(t *testing.T) {
+	app := homeT(t)
+	rc := machine.RunConfig{Duration: 100 * sim.Millisecond, Warmup: 20 * sim.Millisecond, Drain: sim.Second}
+	fc := DefaultConfig(machine.UManycoreConfig())
+	fc.Servers = 2
+	fc.CrossServerFrac = 1
+	fc.InterServerRTT = 100 * sim.Microsecond
+
+	res := Run(fc, app, 8000, rc, 5)
+	if res.RemoteServed == 0 {
+		t.Fatal("no cross-server RPCs served despite CrossServerFrac=1")
+	}
+
+	local := fc
+	local.CrossServerFrac = 0
+	lres := Run(local, app, 8000, rc, 5)
+	if lres.RemoteServed != 0 {
+		t.Fatalf("local fleet served %d remote RPCs", lres.RemoteServed)
+	}
+	if res.Latency.Mean <= lres.Latency.Mean {
+		t.Fatalf("coupled cross-server RTT not visible: %v vs %v", res.Latency.Mean, lres.Latency.Mean)
+	}
+}
+
+// TestRunIndependentAggregates keeps the fast path honest: distinct derived
+// per-server seeds, server-order merge, worker-count independence.
+func TestRunIndependentAggregates(t *testing.T) {
+	app := homeT(t)
+	rc := machine.RunConfig{Duration: 100 * sim.Millisecond, Warmup: 20 * sim.Millisecond, Drain: sim.Second}
+	fc := DefaultConfig(machine.UManycoreConfig())
+	fc.Servers = 3
+
+	fc.Parallel = 1
+	seq := RunIndependent(fc, app, 9000, rc, 1)
+	fc.Parallel = 4
+	par := RunIndependent(fc, app, 9000, rc, 1)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("RunIndependent depends on worker count")
+	}
+	if seq.PerServer[0].Latency == seq.PerServer[1].Latency {
+		t.Fatal("independent servers appear identical — seeds not varied")
+	}
+	if seq.Completed == 0 || seq.Completed != seq.PerServer[0].Completed+seq.PerServer[1].Completed+seq.PerServer[2].Completed {
+		t.Fatalf("completed aggregation broken: %+v", seq)
+	}
+}
+
+// TestSkewedFleetP2CBeatsRandom is the headline property of real
+// load-balancing policies on a heterogeneous fleet: with one straggler
+// server, power-of-two-choices keeps the tail below uniform-random routing,
+// which keeps sending the straggler its full share.
+func TestSkewedFleetP2CBeatsRandom(t *testing.T) {
+	app := homeT(t)
+	rc := machine.RunConfig{Duration: 150 * sim.Millisecond, Warmup: 30 * sim.Millisecond, Drain: sim.Second}
+	fc := DefaultConfig(machine.UManycoreConfig())
+	fc.Servers = 4
+	fc.CrossServerFrac = 0
+	fc.Slowdown = []float64{1, 1, 1, 4}
+
+	fc.LB = "p2c"
+	p2c := Run(fc, app, 40000, rc, 9)
+	fc.LB = "rand"
+	rnd := Run(fc, app, 40000, rc, 9)
+	if p2c.Balancer != "p2c" || rnd.Balancer != "rand" {
+		t.Fatalf("balancer labels: %q %q", p2c.Balancer, rnd.Balancer)
+	}
+	if p2c.Latency.P99 > rnd.Latency.P99 {
+		t.Fatalf("p2c P99 %.1fus worse than uniform-random %.1fus on skewed fleet",
+			p2c.Latency.P99, rnd.Latency.P99)
+	}
+}
+
+// TestBalancerPolicies unit-tests each policy's routing decision. A nil rng
+// in the N==1 cases doubles as proof that no policy consumes randomness on
+// a one-server fleet.
+func TestBalancerPolicies(t *testing.T) {
+	depths := []int{3, 0, 2, 1}
+	v := View{Servers: 4, Outstanding: func(s int) int { return depths[s] }}
+	one := View{Servers: 1, Outstanding: func(int) int { return 99 }}
+
+	rr := &RoundRobin{}
+	for i := 0; i < 8; i++ {
+		if got := rr.Pick(nil, v); got != i%4 {
+			t.Fatalf("round-robin pick %d = %d", i, got)
+		}
+	}
+	if (&RoundRobin{}).Pick(nil, one) != 0 {
+		t.Fatal("rr N=1")
+	}
+
+	eng := sim.NewEngine(1)
+	rng := eng.Rand("test")
+	seen := make(map[int]bool)
+	for i := 0; i < 256; i++ {
+		s := UniformRandom{}.Pick(rng, v)
+		if s < 0 || s >= 4 {
+			t.Fatalf("rand pick out of range: %d", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("uniform-random never hit all servers: %v", seen)
+	}
+	if (UniformRandom{}).Pick(nil, one) != 0 {
+		t.Fatal("rand N=1")
+	}
+
+	if got := (LeastOutstanding{}).Pick(nil, v); got != 1 {
+		t.Fatalf("least-outstanding = %d, want 1", got)
+	}
+	tie := View{Servers: 3, Outstanding: func(int) int { return 2 }}
+	if got := (LeastOutstanding{}).Pick(nil, tie); got != 0 {
+		t.Fatalf("least-outstanding tie-break = %d, want 0", got)
+	}
+	if (LeastOutstanding{}).Pick(nil, one) != 0 {
+		t.Fatal("least N=1")
+	}
+
+	for i := 0; i < 256; i++ {
+		s := PowerOfTwo{}.Pick(rng, v)
+		if s < 0 || s >= 4 {
+			t.Fatalf("p2c pick out of range: %d", s)
+		}
+		// Server 0 is strictly the deepest; whichever peer the second probe
+		// lands on wins, so p2c can never route there.
+		if s == 0 {
+			t.Fatalf("p2c picked the deepest server")
+		}
+	}
+	if (PowerOfTwo{}).Pick(nil, one) != 0 {
+		t.Fatal("p2c N=1")
+	}
+}
+
+func TestParseLB(t *testing.T) {
+	for _, name := range Policies() {
+		mk, err := ParseLB(name)
+		if err != nil {
+			t.Fatalf("ParseLB(%q): %v", name, err)
+		}
+		if got := mk().Name(); got != name {
+			t.Fatalf("ParseLB(%q).Name() = %q", name, got)
+		}
+	}
+	if mk, err := ParseLB(""); err != nil || mk().Name() != "rr" {
+		t.Fatalf("default policy: %v", err)
+	}
+	if _, err := ParseLB("bogus"); err == nil {
+		t.Fatal("no error for unknown policy")
+	}
 }

@@ -44,9 +44,12 @@ type Machine struct {
 	Rejected      uint64
 	rejectedRoots uint64
 	Invocations   uint64
-	coreBusy      sim.Time
-	hopSum        uint64
-	msgCount      uint64
+	// RemoteServed counts child RPCs that arrived from peer servers via
+	// SubmitRemote (coupled-fleet runs only).
+	RemoteServed uint64
+	coreBusy     sim.Time
+	hopSum       uint64
+	msgCount     uint64
 
 	// Observability (nil/zero when disabled — see EnableObs in obs.go).
 	trace *obs.Collector
@@ -56,8 +59,21 @@ type Machine struct {
 	// is enabled (see EnableTelemetry in obs.go); nil disables at zero cost.
 	tele *telemetry.Sampler
 
+	// remoteSend, when non-nil, couples this machine to a fleet: child RPCs
+	// that draw the RemoteCallFrac lottery are shipped to a peer server
+	// through it instead of paying a probabilistic latency add locally.
+	remoteSend RemoteSender
+
 	invSeq uint64
 }
+
+// RemoteSender ships one cross-server child RPC into the fleet: svcID is
+// the callee service, depart the virtual time the request has left this
+// server's NIC (half the inter-server RTT already paid), and respond must
+// be called exactly once with the virtual time the peer's response leaves
+// the peer server. The fleet runner wires this to a peer machine's
+// SubmitRemote on the shared engine.
+type RemoteSender func(svcID int, depart sim.Time, respond func(done sim.Time))
 
 type domain struct {
 	m        *Machine
@@ -115,6 +131,10 @@ type invocation struct {
 	span uint64
 	// enqAt is when the invocation last became runnable (queue-wait start).
 	enqAt sim.Time
+	// onDone, when set, marks a parentless invocation serving a peer
+	// server's child RPC (coupled fleet): instead of recording end-to-end
+	// latency, respond calls it with the response's NIC-egress time.
+	onDone func(done sim.Time)
 }
 
 // New builds a machine on the given engine serving a single request type.
@@ -389,6 +409,59 @@ func (m *Machine) SubmitRoot() {
 	m.eng.At(at, func() { m.enqueue(inv) })
 }
 
+// SetRemoteSender couples this machine to a fleet: child RPCs drawing the
+// RemoteCallFrac lottery are routed through f to a peer server instead of
+// being approximated by a local latency add. Call before submitting load.
+func (m *Machine) SetRemoteSender(f RemoteSender) { m.remoteSend = f }
+
+// SubmitRemote injects a child RPC arriving from a peer server at the
+// current time: it passes the top-level NIC and the ICN like an external
+// request, runs svcID's full invocation subtree on this machine, and calls
+// onDone with the virtual time the response leaves this server's NIC.
+// Remote invocations never enter the latency sample or the Submitted /
+// Completed root accounting; they are extra offered load.
+func (m *Machine) SubmitRemote(svcID int, onDone func(done sim.Time)) {
+	m.RemoteServed++
+	now := m.eng.Now()
+	inv := &invocation{
+		id:       m.nextInv(),
+		svc:      m.catalog.Service(svcID),
+		start:    now,
+		lastCore: -1,
+		onDone:   onDone,
+	}
+	dom := m.pickInstance(svcID)
+	inv.dom = dom
+	at := now + m.cfg.IngressLatency + m.cfg.NICHWDelay
+	if m.cfg.IOViaICN {
+		at, _ = m.ioDeliverIn(at, dom.endpoint, m.cfg.ReqMsgBytes)
+	}
+	m.eng.At(at, func() { m.enqueue(inv) })
+}
+
+// OutstandingRoots reports accepted root requests not yet completed or
+// rejected — the per-server outstanding counter a load balancer tracks
+// (requests it sent minus responses it saw). Peer-served child RPCs are
+// server-to-server traffic invisible to the balancer and are excluded.
+func (m *Machine) OutstandingRoots() int {
+	return int(m.Submitted - m.Completed - m.rejectedRoots)
+}
+
+// QueueDepth reports the runnable invocations currently queued machine-wide
+// (hardware RQ ready entries, NIC overflow buffers, and software FIFOs) —
+// the instantaneous-queue-length signal for shortest-queue routing studies.
+func (m *Machine) QueueDepth() int {
+	depth := 0
+	for _, dom := range m.domains {
+		if dom.hwq != nil {
+			depth += dom.hwq.ReadyCount() + dom.nicbuf.Len()
+		} else {
+			depth += len(dom.swq)
+		}
+	}
+	return depth
+}
+
 // pickRoot draws a request type from the arrival mixture.
 func (m *Machine) pickRoot() int {
 	if len(m.mix) == 1 {
@@ -470,7 +543,9 @@ func (m *Machine) reject(inv *invocation) {
 			m.trace.End(inv.span, m.eng.Now())
 		}
 	}
-	if inv.parent != nil {
+	if inv.parent != nil || inv.onDone != nil {
+		// Children (local or peer-served) still answer their caller so the
+		// request tree terminates.
 		m.respond(inv)
 	} else {
 		m.rejectedRoots++
@@ -835,6 +910,10 @@ func (m *Machine) release(c *core) {
 // departs no earlier than the parent's state save completed.
 func (m *Machine) sendChild(c *core, parent *invocation, svcID int, saved sim.Time) {
 	rng := m.eng.Rand("icn")
+	if m.remoteSend != nil && m.cfg.RemoteCallFrac > 0 && rng.Float64() < m.cfg.RemoteCallFrac {
+		m.sendChildRemote(c, parent, svcID, saved)
+		return
+	}
 	child := &invocation{
 		id:       m.nextInv(),
 		svc:      m.catalog.Service(svcID),
@@ -853,7 +932,9 @@ func (m *Machine) sendChild(c *core, parent *invocation, svcID int, saved sim.Ti
 	m.hopSum += uint64(hops)
 	m.msgCount++
 	at += m.cfg.NICHWDelay
-	if m.cfg.RemoteCallFrac > 0 && rng.Float64() < m.cfg.RemoteCallFrac {
+	if m.remoteSend == nil && m.cfg.RemoteCallFrac > 0 && rng.Float64() < m.cfg.RemoteCallFrac {
+		// Uncoupled (symmetric-server) approximation: the child still runs
+		// locally; the inter-server wire time is a probabilistic latency add.
 		child.remote = true
 		at += m.cfg.RemoteRTT / 2
 	}
@@ -864,6 +945,52 @@ func (m *Machine) sendChild(c *core, parent *invocation, svcID int, saved sim.Ti
 		}
 	}
 	m.eng.At(at, func() { m.enqueue(child) })
+}
+
+// sendChildRemote ships a child RPC to a peer server through the fleet
+// coupling: sender-side processing, egress across the on-package ICN (when
+// I/O is routed through it), half the inter-server RTT, then the fleet
+// delivers it to a peer machine's ingress. The response retraces the same
+// path. On this machine's trace the whole round trip is one invoke span
+// whose wire legs are StageNet; the peer's processing time is the span's
+// untracked middle, surfacing as StageOther in tail blame (the peer does
+// not trace it — it is not a client request there).
+func (m *Machine) sendChildRemote(c *core, parent *invocation, svcID int, saved sim.Time) {
+	dep := saved + m.cfg.CyclesToTime(m.cfg.SendProcCycles)
+	out := dep
+	if m.cfg.IOViaICN {
+		var hops int
+		out, hops = m.ioDeliverOut(dep, m.srcEndpoint(c), m.cfg.ReqMsgBytes)
+		m.hopSum += uint64(hops)
+		m.msgCount++
+	}
+	depart := out + m.cfg.RemoteRTT/2
+	var span uint64
+	if parent.span != 0 {
+		span = m.trace.Start(parent.span, obs.StageInvoke, int16(svcID), dep)
+		if depart > dep {
+			m.trace.Add(span, obs.StageNet, dep, depart)
+		}
+	}
+	home := parent.dom
+	m.remoteSend(svcID, depart, func(done sim.Time) {
+		back := done + m.cfg.RemoteRTT/2
+		at := back
+		if m.cfg.IOViaICN {
+			var hops int
+			at, hops = m.ioDeliverIn(back, home.endpoint, m.cfg.RespMsgBytes)
+			m.hopSum += uint64(hops)
+			m.msgCount++
+		}
+		at += m.cfg.NICHWDelay
+		if span != 0 {
+			if at > done {
+				m.trace.Add(span, obs.StageNet, done, at)
+			}
+			m.trace.End(span, at)
+		}
+		m.eng.At(at, func() { m.resolveChild(parent) })
+	})
 }
 
 // ioEndpoint is the topology endpoint adjacent to the package's top-level
@@ -977,6 +1104,13 @@ func (m *Machine) respond(inv *invocation) {
 		if m.cfg.IOViaICN {
 			at, _ = m.ioDeliverOut(now, inv.dom.endpoint, m.cfg.RespMsgBytes)
 			at += m.cfg.IngressLatency
+		}
+		if inv.onDone != nil {
+			// Peer-served child RPC (coupled fleet): the response leaves via
+			// the top-level NIC like a root's, but the caller lives on
+			// another server — hand the egress time back to the fleet.
+			inv.onDone(at)
+			return
 		}
 		if inv.span != 0 {
 			if at > now {

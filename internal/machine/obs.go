@@ -5,6 +5,7 @@ import (
 
 	"umanycore/internal/obs"
 	"umanycore/internal/sim"
+	"umanycore/internal/telemetry"
 )
 
 // machineMetrics caches resolved instruments so the event hot paths never
@@ -45,6 +46,11 @@ func (m *Machine) EnableObs(col *obs.Collector, reg *obs.Registry) {
 	}
 }
 
+// EnableTelemetry attaches a streaming-telemetry sampler: measured
+// end-to-end latencies feed it at completion time. Nil detaches the layer
+// at zero cost.
+func (m *Machine) EnableTelemetry(s *telemetry.Sampler) { m.tele = s }
+
 // observeQueueDepth applies a queued-invocation delta and records the new
 // aggregate depth. Only called when m.mx != nil.
 func (m *Machine) observeQueueDepth(d int) {
@@ -52,17 +58,35 @@ func (m *Machine) observeQueueDepth(d int) {
 	m.mx.queueDepth.Observe(m.eng.Now(), float64(m.qlen))
 }
 
-// finishMetrics records the end-of-run instruments that need no hot-path
-// hooks: simulation kernel statistics, per-core utilization spread, ICN path
-// statistics, and the storage R-NIC transport counters. window is the
-// arrival window used for utilization normalization.
+// finishMetrics records the end-of-run instruments for a machine that owns
+// its engine: the machine-level instruments plus the simulation kernel's.
 func (m *Machine) finishMetrics(eng *sim.Engine, window sim.Time) {
 	if m.mx == nil {
 		return
 	}
-	reg := m.mx.reg
+	m.FinishMachineMetrics(window)
+	RecordEngineMetrics(m.mx.reg, eng)
+}
+
+// RecordEngineMetrics records the simulation kernel's statistics into reg.
+// It is separate from FinishMachineMetrics so a coupled fleet (N machines
+// sharing one engine) records the engine exactly once instead of once per
+// server, keeping merged sim.* counters meaningful.
+func RecordEngineMetrics(reg *obs.Registry, eng *sim.Engine) {
 	reg.Counter("sim.events").Add(float64(eng.Fired()))
 	reg.Gauge("sim.heap.peak").Set(float64(eng.MaxPending()))
+}
+
+// FinishMachineMetrics records the end-of-run machine instruments that need
+// no hot-path hooks: per-core utilization spread, admission totals, ICN
+// path statistics, and the storage R-NIC transport counters. window is the
+// arrival window used for utilization normalization. No-op without a
+// registry.
+func (m *Machine) FinishMachineMetrics(window sim.Time) {
+	if m.mx == nil {
+		return
+	}
+	reg := m.mx.reg
 
 	if window > 0 {
 		lo, hi, sum := -1.0, 0.0, 0.0

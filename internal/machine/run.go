@@ -57,8 +57,10 @@ type RunConfig struct {
 	Telemetry *telemetry.Options
 }
 
-// normalized fills defaults.
-func (rc RunConfig) normalized() RunConfig {
+// Normalized returns rc with zero-valued Duration/Warmup/Drain filled with
+// their defaults. Run applies it internally; the coupled fleet runner calls
+// it so both paths agree on the effective window.
+func (rc RunConfig) Normalized() RunConfig {
 	if rc.Duration == 0 {
 		rc.Duration = sim.Second
 	}
@@ -120,7 +122,7 @@ var enginePool = sync.Pool{
 
 // Run executes one machine under open-loop load and returns the results.
 func Run(cfg Config, rc RunConfig) *Result {
-	rc = rc.normalized()
+	rc = rc.Normalized()
 	eng := enginePool.Get().(*sim.Engine)
 	if eng.Resets() > 0 || eng.Fired() > 0 {
 		engineReuse.Add(1)
@@ -156,40 +158,10 @@ func Run(cfg Config, rc RunConfig) *Result {
 	}
 	if col != nil || reg != nil {
 		m.EnableObs(col, reg)
-		m.tele = tele
+		m.EnableTelemetry(tele)
 	}
 
-	var arrivalGap func() sim.Time
-	switch rc.Arrivals {
-	case BurstyArrivals:
-		mmpp := workload.BurstyArrivals(rc.RPS)
-		arrivalGap = func() sim.Time {
-			return sim.FromSeconds(mmpp.NextGap(eng.Rand("arrivals")))
-		}
-	case TraceArrivals:
-		// Per-second rates drawn from the production-trace marginal
-		// (median 500 RPS, heavy upper tail), rescaled to the target mean.
-		g := workload.NewTraceGen(rc.Seed + 104729)
-		loads := g.ServerLoad(1024)
-		var sum float64
-		for _, l := range loads {
-			sum += float64(l)
-		}
-		scale := rc.RPS / (sum / float64(len(loads)))
-		arrivalGap = func() sim.Time {
-			r := eng.Rand("arrivals")
-			sec := int(eng.Now() / sim.Second)
-			rate := float64(loads[sec%len(loads)]) * scale
-			if rate <= 0 {
-				rate = 1
-			}
-			return sim.FromSeconds(dist.Poisson{Rate: rate}.NextGap(r))
-		}
-	default:
-		arrivalGap = func() sim.Time {
-			return sim.FromSeconds(dist.Poisson{Rate: rc.RPS}.NextGap(eng.Rand("arrivals")))
-		}
-	}
+	arrivalGap := ArrivalGap(eng, rc, rc.RPS)
 
 	var schedule func()
 	schedule = func() {
@@ -202,24 +174,7 @@ func Run(cfg Config, rc RunConfig) *Result {
 	eng.At(arrivalGap(), schedule)
 	eng.RunUntil(rc.Duration + rc.Drain)
 
-	res := &Result{
-		Machine:     cfg.Name,
-		App:         rc.App.Name,
-		RPS:         rc.RPS,
-		Latency:     m.Latency.Summarize(),
-		Sample:      &m.Latency,
-		PerRoot:     perRootSummaries(m),
-		TailToAvg:   m.Latency.TailToAvg(),
-		Submitted:   m.Submitted,
-		Completed:   m.Completed,
-		Rejected:    m.Rejected,
-		Unfinished:  int64(m.Submitted) - int64(m.Completed) - int64(m.rejectedRoots),
-		Invocations: m.Invocations,
-		Utilization: m.Utilization(rc.Duration),
-		MeanHops:    m.MeanHops(),
-		MaxLinkUtil: icn.MaxUtilization(m.topo, rc.Duration),
-		Events:      eng.Fired(),
-	}
+	res := BuildResult(m, eng, rc)
 	if reg != nil {
 		m.finishMetrics(eng, rc.Duration)
 	}
@@ -236,6 +191,71 @@ func Run(cfg Config, rc RunConfig) *Result {
 		res.Telemetry = tele.Finish(eng.Now())
 	}
 	return res
+}
+
+// ArrivalGap returns the open-loop inter-arrival sampler for rc's arrival
+// process at rate rps, drawing from eng's "arrivals" stream. Run uses it
+// with rc.RPS on a per-server engine; the coupled fleet runner uses it with
+// the fleet's total RPS on the shared engine, so a one-server fleet draws
+// the exact same gap sequence as a plain Run.
+func ArrivalGap(eng *sim.Engine, rc RunConfig, rps float64) func() sim.Time {
+	switch rc.Arrivals {
+	case BurstyArrivals:
+		mmpp := workload.BurstyArrivals(rps)
+		return func() sim.Time {
+			return sim.FromSeconds(mmpp.NextGap(eng.Rand("arrivals")))
+		}
+	case TraceArrivals:
+		// Per-second rates drawn from the production-trace marginal
+		// (median 500 RPS, heavy upper tail), rescaled to the target mean.
+		g := workload.NewTraceGen(sim.DeriveSeed(rc.Seed, 104729))
+		loads := g.ServerLoad(1024)
+		var sum float64
+		for _, l := range loads {
+			sum += float64(l)
+		}
+		scale := rps / (sum / float64(len(loads)))
+		return func() sim.Time {
+			r := eng.Rand("arrivals")
+			sec := int(eng.Now() / sim.Second)
+			rate := float64(loads[sec%len(loads)]) * scale
+			if rate <= 0 {
+				rate = 1
+			}
+			return sim.FromSeconds(dist.Poisson{Rate: rate}.NextGap(r))
+		}
+	default:
+		return func() sim.Time {
+			return sim.FromSeconds(dist.Poisson{Rate: rps}.NextGap(eng.Rand("arrivals")))
+		}
+	}
+}
+
+// BuildResult assembles the plain-statistics Result of a finished machine —
+// the shared tail of Run and the coupled fleet runner (which drives several
+// machines on one engine and assembles one Result per server). Observability
+// output (Result.Obs / Result.Telemetry) is attached by the caller. Events
+// reports the engine's fired-event count: per-run for Run, shared across
+// servers for a coupled fleet.
+func BuildResult(m *Machine, eng *sim.Engine, rc RunConfig) *Result {
+	return &Result{
+		Machine:     m.cfg.Name,
+		App:         rc.App.Name,
+		RPS:         rc.RPS,
+		Latency:     m.Latency.Summarize(),
+		Sample:      &m.Latency,
+		PerRoot:     perRootSummaries(m),
+		TailToAvg:   m.Latency.TailToAvg(),
+		Submitted:   m.Submitted,
+		Completed:   m.Completed,
+		Rejected:    m.Rejected,
+		Unfinished:  int64(m.Submitted) - int64(m.Completed) - int64(m.rejectedRoots),
+		Invocations: m.Invocations,
+		Utilization: m.Utilization(rc.Duration),
+		MeanHops:    m.MeanHops(),
+		MaxLinkUtil: icn.MaxUtilization(m.topo, rc.Duration),
+		Events:      eng.Fired(),
+	}
 }
 
 func perRootSummaries(m *Machine) map[int]stats.Summary {

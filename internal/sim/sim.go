@@ -296,3 +296,27 @@ func streamHash(name string) int64 {
 	h.Write([]byte(name))
 	return int64(h.Sum64())
 }
+
+// mix64 is the splitmix64 finalizer: a full-avalanche 64-bit bijection, so
+// structured inputs (small integers, additive offsets) map to uncorrelated
+// outputs.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// DeriveSeed derives an independent child seed from a base seed and an
+// index via a splitmix64-style hash. It replaces additive strides
+// (base + idx*K), which collide whenever two base seeds differ by a small
+// multiple of the stride — e.g. a replicate at base+K reusing child 1's
+// stream of the original base. The base is avalanched *before* the index is
+// combined, so (base, idx) and (base+K, idx-1) can never land on the same
+// stream by construction.
+func DeriveSeed(base int64, idx int64) int64 {
+	z := mix64(uint64(base)+0x9e3779b97f4a7c15) + uint64(idx)*0x9e3779b97f4a7c15
+	return int64(mix64(z))
+}

@@ -453,3 +453,40 @@ func TestResetClearsMaxPendingAndCountsResets(t *testing.T) {
 		t.Fatalf("Resets = %d, want 2", e.Resets())
 	}
 }
+
+// TestDeriveSeed pins the seed-derivation contract: deterministic, and free
+// of the additive-stride collisions that motivated it — with the old
+// seed + s*7919 scheme, server s of replicate r collided with server s-1 of
+// replicate r+7919 (and the ^stride XOR mixes had analogous aliases).
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(42, 3) != DeriveSeed(42, 3) {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+
+	// The collision the fleet actually had: base seeds one stride apart,
+	// indices one apart, must not alias.
+	for _, stride := range []int64{1, 7919, 104729} {
+		for base := int64(0); base < 8; base++ {
+			if DeriveSeed(base+stride, 0) == DeriveSeed(base, 1) {
+				t.Fatalf("stride alias: DeriveSeed(%d,0) == DeriveSeed(%d,1)", base+stride, base)
+			}
+		}
+	}
+
+	// No collisions over a dense (base, idx) grid — 64 bases × 64 indices.
+	seen := make(map[int64][2]int64)
+	for base := int64(-32); base < 32; base++ {
+		for idx := int64(0); idx < 64; idx++ {
+			s := DeriveSeed(base, idx)
+			if prev, ok := seen[s]; ok {
+				t.Fatalf("collision: (%d,%d) and (%d,%d) both give %d", base, idx, prev[0], prev[1], s)
+			}
+			seen[s] = [2]int64{base, idx}
+		}
+	}
+
+	// Derived seeds should differ from the base (idx 0 is not identity).
+	if DeriveSeed(0, 0) == 0 || DeriveSeed(1, 0) == 1 {
+		t.Fatal("DeriveSeed acts as identity")
+	}
+}

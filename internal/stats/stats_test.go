@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -333,5 +334,48 @@ func TestSummaryJSONEmptyAndSpecial(t *testing.T) {
 	var back Summary
 	if err := json.Unmarshal(b, &back); err != nil {
 		t.Fatalf("NaN/Inf output not parseable: %v", err)
+	}
+}
+
+// TestEmptySampleSafe pins the N=0 contract: every summary statistic on an
+// empty sample returns a finite zero — never a panic, never a NaN — and the
+// JSON encoding of an empty-summary record contains no NaN/Inf tokens (which
+// would make the output unparseable).
+func TestEmptySampleSafe(t *testing.T) {
+	var s Sample
+	for name, v := range map[string]float64{
+		"Mean":      s.Mean(),
+		"Quantile":  s.Quantile(0.5),
+		"P99":       s.P99(),
+		"Median":    s.Median(),
+		"Min":       s.Min(),
+		"Max":       s.Max(),
+		"StdDev":    s.StdDev(),
+		"TailToAvg": s.TailToAvg(),
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s on empty sample = %v", name, v)
+		}
+		if v != 0 {
+			t.Fatalf("%s on empty sample = %v, want 0", name, v)
+		}
+	}
+
+	sum := s.Summarize()
+	if sum.N != 0 || sum.Mean != 0 || sum.P99 != 0 {
+		t.Fatalf("empty Summarize = %+v", sum)
+	}
+	data, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatalf("marshal empty summary: %v", err)
+	}
+	for _, bad := range []string{"NaN", "Inf", "null"} {
+		if strings.Contains(string(data), bad) {
+			t.Fatalf("empty summary JSON contains %q: %s", bad, data)
+		}
+	}
+	var back Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round-trip empty summary: %v", err)
 	}
 }

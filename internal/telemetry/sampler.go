@@ -38,6 +38,9 @@ type Sampler struct {
 	lastTick  sim.Time
 	integrals map[string]float64 // per-TimeHist cumulative integral at the last tick
 	finished  bool
+	// noEngineVitals mirrors Options.NoEngineVitals (samplers sharing one
+	// engine record its vitals once).
+	noEngineVitals bool
 }
 
 // reader snapshots one instrument into the timeline.
@@ -53,15 +56,16 @@ type reader struct {
 func Start(eng *sim.Engine, reg *obs.Registry, horizon sim.Time, opts Options) *Sampler {
 	o := opts.normalized()
 	s := &Sampler{
-		eng:       eng,
-		reg:       reg,
-		interval:  o.Interval,
-		horizon:   horizon,
-		tl:        NewTimeline(o.Interval, o.Capacity),
-		wd:        newWatchdog(reg, o.Rules),
-		sketch:    stats.NewSketch(o.SketchAlpha),
-		win:       stats.NewSketch(o.SketchAlpha),
-		integrals: make(map[string]float64),
+		eng:            eng,
+		reg:            reg,
+		interval:       o.Interval,
+		horizon:        horizon,
+		tl:             NewTimeline(o.Interval, o.Capacity),
+		wd:             newWatchdog(reg, o.Rules),
+		sketch:         stats.NewSketch(o.SketchAlpha),
+		win:            stats.NewSketch(o.SketchAlpha),
+		integrals:      make(map[string]float64),
+		noEngineVitals: o.NoEngineVitals,
 	}
 	var tick func()
 	tick = func() {
@@ -133,8 +137,10 @@ func (s *Sampler) sample(now sim.Time) {
 
 	// Engine vitals: cumulative fired events and the pending-event level —
 	// the live view of sim.events / sim.heap.peak.
-	s.tl.Push("sim.events", obs.KindCounter, now, float64(s.eng.Fired()))
-	s.tl.Push("sim.pending", obs.KindGauge, now, float64(s.eng.Pending()))
+	if !s.noEngineVitals {
+		s.tl.Push("sim.events", obs.KindCounter, now, float64(s.eng.Fired()))
+		s.tl.Push("sim.pending", obs.KindGauge, now, float64(s.eng.Pending()))
+	}
 
 	// Latency window summary. Counts sum across servers; quantiles merge
 	// conservatively (KindMax); means average.

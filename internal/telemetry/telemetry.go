@@ -49,6 +49,11 @@ type Options struct {
 	// Rules are the SLO watchdog rules evaluated at every tick (default
 	// none; see DefaultRules).
 	Rules []Rule
+	// NoEngineVitals suppresses the sim.events / sim.pending series. Set it
+	// on all but one sampler when several samplers share one engine (the
+	// coupled fleet runs one per server), so the merged engine series counts
+	// the engine once instead of once per server.
+	NoEngineVitals bool
 }
 
 // DefaultOptions returns the default sampling configuration (1ms interval,

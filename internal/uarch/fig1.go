@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"umanycore/internal/cachesim"
+	"umanycore/internal/sim"
 )
 
 // CPIModel converts component measurements into cycles-per-instruction using
@@ -165,7 +166,9 @@ func RunFig1(n int, seed int64) []Fig1Result {
 	for _, class := range []TraceClass{Monolithic, Microservice} {
 		typ := measureTypical(class, n, seed)
 		stream := func(tag int64) *rand.Rand {
-			return rand.New(rand.NewSource(seed ^ tag*7919 ^ int64(class)*104729))
+			// Hash-derived per-(tag, class) seeds: the old XOR-of-strides mix
+			// could collide across nearby base seeds.
+			return rand.New(rand.NewSource(sim.DeriveSeed(sim.DeriveSeed(seed, tag), int64(class))))
 		}
 
 		// D-Prefetcher: Pythia-like vs none.

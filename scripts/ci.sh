@@ -29,11 +29,11 @@ else
     go test -race ./...
 fi
 
-# The observability merge path, the sweep runner, and the streaming-telemetry
-# layer carry the repo's determinism/race contracts; race-check them on every
-# run, quick included.
-echo "== go test -race (obs + sweep + telemetry) =="
-go test -race -short ./internal/obs/... ./internal/sweep/... ./internal/telemetry/...
+# The observability merge path, the sweep runner, the streaming-telemetry
+# layer, and the coupled fleet carry the repo's determinism/race contracts;
+# race-check them on every run, quick included.
+echo "== go test -race (obs + sweep + telemetry + fleet) =="
+go test -race -short ./internal/obs/... ./internal/sweep/... ./internal/telemetry/... ./internal/fleet/...
 
 echo "== bench smoke (allocation + sweep + telemetry benchmarks, 1 iteration) =="
 go test -run xxx -bench 'BenchmarkEngine|BenchmarkMachineRun' -benchtime 1x \

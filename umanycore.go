@@ -135,6 +135,9 @@ type (
 	FleetConfig = fleet.Config
 	// FleetResult aggregates per-server results.
 	FleetResult = fleet.Result
+	// Balancer routes fleet arrivals to servers (see fleet.ParseLB for the
+	// built-in policies: rr, rand, least, p2c).
+	Balancer = fleet.Balancer
 )
 
 // Experiment types.
@@ -199,10 +202,20 @@ func SyntheticApp(dist string, meanMicros float64, blockingCalls int) (*App, err
 // Run executes one server under open-loop load and returns its results.
 func Run(cfg Config, rc RunConfig) *Result { return machine.Run(cfg, rc) }
 
-// RunFleet executes the paper's multi-server cluster: load balanced across
-// fc.Servers, cross-server RPCs paying the inter-server round trip.
+// RunFleet executes the paper's multi-server cluster as one coupled
+// simulation: arrivals routed by fc's balancer policy, cross-server child
+// RPCs executed on the peer server they target, the inter-server round
+// trip paid on the wire legs.
 func RunFleet(fc FleetConfig, app *App, totalRPS float64, rc RunConfig, seed int64) *FleetResult {
 	return fleet.Run(fc, app, totalRPS, rc, seed)
+}
+
+// RunFleetIndependent executes the cluster with the symmetric-server
+// approximation — each server simulated alone with its load share, fanned
+// out across fc.Parallel workers. Cheaper than RunFleet but approximate:
+// see the internal/fleet package comment.
+func RunFleetIndependent(fc FleetConfig, app *App, totalRPS float64, rc RunConfig, seed int64) *FleetResult {
+	return fleet.RunIndependent(fc, app, totalRPS, rc, seed)
 }
 
 // DefaultFleet wraps a machine config in the paper's 10-server cluster.
