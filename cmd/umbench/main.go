@@ -4,10 +4,17 @@
 // Usage:
 //
 //	umbench [-quick] [-seed N] [-parallel N] [-figures 1,2,3,...] [-json FILE]
+//	        [-cache DIR] [-cache-verify] [-cache-clear]
 //
 // Figure names: 1 2 3 4 5 6 7 8 9 e2e 15 18 19 20 68 power lb. Default: all.
 // -parallel bounds the sweep worker pool (default: all cores); output is
 // bit-identical for any value.
+//
+// -cache DIR keeps a content-addressed store of finished sweep cells, so an
+// interrupted or re-run regeneration only simulates cells whose inputs
+// changed. -cache-verify recomputes every cached cell anyway and exits
+// nonzero if any recomputation fails to reproduce the cached bytes.
+// -cache-clear empties the store before running.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 
 	"umanycore"
 	"umanycore/internal/sweep"
+	"umanycore/internal/sweepcache"
 	"umanycore/internal/telemetry"
 	"umanycore/internal/textplot"
 )
@@ -34,7 +42,31 @@ func main() {
 	parallel := flag.Int("parallel", 0, "sweep workers (<=0: all cores); results are identical for any value")
 	figures := flag.String("figures", "all", "comma-separated figure list (1..9, e2e, 15, 18, 19, 20, 68, power, lb)")
 	serve := flag.String("serve", "", "serve live /metrics, /healthz, /progress (sweep cells done + ETA) and pprof on this address during the regeneration (e.g. :9090)")
+	cacheDir := flag.String("cache", "", "content-addressed sweep-cell cache directory (created if missing); re-runs skip cells already simulated with identical inputs")
+	cacheVerify := flag.Bool("cache-verify", false, "recompute cached cells and fail if any recomputation does not reproduce the cached bytes (requires -cache)")
+	cacheClear := flag.Bool("cache-clear", false, "empty the cache before running (requires -cache)")
 	flag.Parse()
+
+	var cache *sweepcache.Cache
+	if *cacheDir != "" {
+		var err error
+		cache, err = sweepcache.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "umbench:", err)
+			os.Exit(2)
+		}
+		if *cacheClear {
+			if err := cache.Clear(); err != nil {
+				fmt.Fprintln(os.Stderr, "umbench:", err)
+				os.Exit(2)
+			}
+		}
+		cache.SetVerify(*cacheVerify)
+		sweep.SetCache(cache)
+	} else if *cacheVerify || *cacheClear {
+		fmt.Fprintln(os.Stderr, "umbench: -cache-verify and -cache-clear require -cache DIR")
+		os.Exit(2)
+	}
 
 	if *serve != "" {
 		addr, err := telemetry.ParseServeAddr(*serve)
@@ -108,6 +140,18 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "[total %v with %d workers%s]\n",
 		totalWall.Round(time.Millisecond), workers, speedupNote(totalBusy, totalWall, workers))
+
+	if cache != nil {
+		s := cache.Snapshot()
+		fmt.Fprintf(os.Stderr, "[cache %s: %d hits, %d misses, %d stores, %d invalidated, %d verify mismatches]\n",
+			cache.Dir(), s.Hits, s.Misses, s.Stores, s.Invalid, s.Mismatches)
+		if lines := cache.Mismatches(); len(lines) > 0 {
+			for _, l := range lines {
+				fmt.Fprintln(os.Stderr, "umbench: verify mismatch:", l)
+			}
+			os.Exit(1)
+		}
+	}
 }
 
 // speedupNote formats the estimated speedup over -parallel 1 for one span of
@@ -250,17 +294,18 @@ func endToEnd(o umanycore.ExperimentOptions) {
 		}
 	}
 	if jsonOut != "" {
-		if err := writeE2EJSON(jsonOut, rows); err != nil {
+		if err := writeRowsJSON(jsonOut, rows); err != nil {
 			fmt.Fprintln(os.Stderr, "umbench:", err)
 			os.Exit(1)
 		}
 	}
 }
 
-// writeE2EJSON emits the sorted e2e grid as a JSON array. Row fields encode
-// in declaration order and the latency objects via stats.Summary's stable
-// MarshalJSON, so the output is byte-identical run to run.
-func writeE2EJSON(path string, rows []umanycore.E2ERow) error {
+// writeRowsJSON emits a figure's row slice as a JSON array. Row fields
+// encode in declaration order and any latency objects via stats.Summary's
+// stable MarshalJSON, so the output is byte-identical run to run — the
+// property the golden-output test and the ci.sh cold/warm diff pin down.
+func writeRowsJSON(path string, rows any) error {
 	w := os.Stdout
 	if path != "-" {
 		f, err := os.Create(path)
@@ -350,12 +395,19 @@ func sec68(o umanycore.ExperimentOptions) {
 }
 
 func fleetLB(o umanycore.ExperimentOptions) {
+	rows := umanycore.FleetLB(o)
 	header("Load-balancer study: coupled 4-server uManycore fleet, one 3x straggler, P99 [us]")
 	fmt.Printf("%-7s %10s %10s %10s %10s %10s %10s\n",
 		"policy", "rps/srv", "mean", "p99", "tail/avg", "rejected", "remote")
-	for _, r := range umanycore.FleetLB(o) {
+	for _, r := range rows {
 		fmt.Printf("%-7s %10.0f %10.1f %10.1f %10.2f %10d %10d\n",
 			r.Policy, r.PerServerRPS, r.MeanMicros, r.P99Micros, r.TailToAvg, r.Rejected, r.RemoteServed)
+	}
+	if jsonOut != "" {
+		if err := writeRowsJSON(jsonOut, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "umbench:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -73,7 +73,7 @@ func TestE2EJSONGolden(t *testing.T) {
 		},
 	}
 	f := t.TempDir() + "/e2e.json"
-	if err := writeE2EJSON(f, rows); err != nil {
+	if err := writeRowsJSON(f, rows); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(f)

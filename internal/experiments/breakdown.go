@@ -34,7 +34,11 @@ func Fig15(o Options) []Fig15Row {
 	catalog := o.Apps[0].Catalog
 	// The base run and the four ladder rungs are five independent
 	// simulations — one sweep, base in slot 0.
-	results := sweep.Map(o.Parallel, append([]machine.Config{base}, ladder...),
+	results := sweep.MapCached(o.Parallel, append([]machine.Config{base}, ladder...),
+		func(_ int, cfg machine.Config) []byte {
+			return runPre("run/result", cfg, o.mixedRC(rps, o.Duration))
+		},
+		resultCodec,
 		func(_ int, cfg machine.Config) *machine.Result {
 			return mixedRun(cfg, o, rps)
 		})
@@ -96,10 +100,16 @@ func Fig19(o Options) []Fig19Row {
 	o = o.normalized()
 	const rps = 15000
 	catalog := o.Apps[0].Catalog
-	results := sweep.Map(o.Parallel, Fig19Configs, func(_ int, tc Fig19Config) *machine.Result {
-		cfg := withFleetCoupling(machine.UManycoreTopologyConfig(tc.CoresPerVillage, tc.VillagesPerCluster, tc.Clusters))
-		return mixedRun(cfg, o, rps)
-	})
+	results := sweep.MapCached(o.Parallel, Fig19Configs,
+		func(_ int, tc Fig19Config) []byte {
+			cfg := withFleetCoupling(machine.UManycoreTopologyConfig(tc.CoresPerVillage, tc.VillagesPerCluster, tc.Clusters))
+			return runPre("run/result", cfg, o.mixedRC(rps, o.Duration))
+		},
+		resultCodec,
+		func(_ int, tc Fig19Config) *machine.Result {
+			cfg := withFleetCoupling(machine.UManycoreTopologyConfig(tc.CoresPerVillage, tc.VillagesPerCluster, tc.Clusters))
+			return mixedRun(cfg, o, rps)
+		})
 	var rows []Fig19Row
 	for _, root := range sortedRoots(results[0].PerRoot) {
 		baseSum := results[0].PerRoot[root]

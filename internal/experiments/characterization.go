@@ -6,6 +6,7 @@ import (
 	"umanycore/internal/cachesim"
 	"umanycore/internal/stats"
 	"umanycore/internal/sweep"
+	"umanycore/internal/sweepcache"
 	"umanycore/internal/uarch"
 	"umanycore/internal/workload"
 )
@@ -149,13 +150,33 @@ func fig9InstrSide(seed int64, n int) []Fig9Row {
 // they run as two sweep jobs.
 func Fig9(o Options) []Fig9Row {
 	o = o.normalized()
-	const n = 400000
-	sides := []func() []Fig9Row{
-		func() []Fig9Row { return fig9DataSide(o.jobSeed("fig9/data"), n) },
-		func() []Fig9Row { return fig9InstrSide(o.jobSeed("fig9/instr"), n) },
+	sides := []fig9Side{
+		{"data", o.jobSeed("fig9/data"), fig9TraceLen},
+		{"instr", o.jobSeed("fig9/instr"), fig9TraceLen},
 	}
-	parts := sweep.Map(o.Parallel, sides, func(_ int, side func() []Fig9Row) []Fig9Row {
-		return side()
-	})
+	parts := sweep.MapCached(o.Parallel, sides,
+		fig9Pre,
+		fig9Codec,
+		func(_ int, s fig9Side) []Fig9Row {
+			if s.Name == "data" {
+				return fig9DataSide(s.Seed, s.N)
+			}
+			return fig9InstrSide(s.Seed, s.N)
+		})
 	return append(parts[0], parts[1]...)
+}
+
+// fig9TraceLen is the per-side trace length.
+const fig9TraceLen = 400000
+
+// fig9Side is one cached Fig9 cell: which stream, its derived seed, and the
+// trace length — everything the side function reads.
+type fig9Side struct {
+	Name string
+	Seed int64
+	N    int
+}
+
+func fig9Pre(_ int, s fig9Side) []byte {
+	return sweepcache.NewKey("fig9/rows").Any("side", s).Preimage()
 }

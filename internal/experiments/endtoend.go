@@ -6,6 +6,7 @@ import (
 	"umanycore/internal/sim"
 	"umanycore/internal/stats"
 	"umanycore/internal/sweep"
+	"umanycore/internal/sweepcache"
 	"umanycore/internal/workload"
 )
 
@@ -39,11 +40,16 @@ func mixedRun(cfg machine.Config, o Options, totalRPS float64) *machine.Result {
 // EndToEnd runs the full §6.1–§6.4 grid: every architecture × load, with
 // per-request-type rows extracted from the mixed run. Cells are independent
 // simulations, so they fan out over the sweep pool; rows come back in grid
-// order (arch-major, then load, then root ID) for any worker count.
+// order (arch-major, then load, then root ID) for any worker count, and an
+// installed cell cache skips cells simulated by a previous run.
 func EndToEnd(o Options) []E2ERow {
 	o = o.normalized()
 	catalog := o.Apps[0].Catalog
-	grid := sweep.Map2(o.Parallel, archSet(), o.Loads,
+	grid := sweep.MapCached2(o.Parallel, archSet(), o.Loads,
+		func(cfg machine.Config, rps float64) []byte {
+			return runPre("run/result", cfg, o.mixedRC(rps, o.Duration))
+		},
+		resultCodec,
 		func(cfg machine.Config, rps float64) *machine.Result {
 			return mixedRun(cfg, o, rps)
 		})
@@ -150,9 +156,14 @@ func Fig18(o Options) []Fig18Row {
 
 	// Stage 1: contention-free per-type averages, one run per architecture.
 	archs := archSet()
-	cfRuns := sweep.Map(o.Parallel, archs, func(_ int, cfg machine.Config) *machine.Result {
-		return mixedRunAt(cfg, o, 100, 2*sim.Second)
-	})
+	cfRuns := sweep.MapCached(o.Parallel, archs,
+		func(_ int, cfg machine.Config) []byte {
+			return runPre("run/result", cfg, o.mixedRC(100, 2*sim.Second))
+		},
+		resultCodec,
+		func(_ int, cfg machine.Config) *machine.Result {
+			return mixedRunAt(cfg, o, 100, 2*sim.Second)
+		})
 
 	// Stage 2: one QoS search per (architecture, request type).
 	type searchJob struct {
@@ -178,18 +189,39 @@ func Fig18(o Options) []Fig18Row {
 			jobs = append(jobs, searchJob{cfg: cfg, root: e.Root, limit: limits[e.Root], hiRPS: hi})
 		}
 	}
-	maxes := sweep.Map(o.Parallel, jobs, func(_ int, j searchJob) float64 {
-		ok := func(rps float64) bool {
-			res := mixedRunAt(j.cfg, o, rps, o.Duration)
-			bad := float64(res.Rejected) + float64(res.Unfinished)
-			if res.Completed == 0 || bad > 0.01*float64(res.Submitted) {
-				return false
+	maxes := sweep.MapCached(o.Parallel, jobs,
+		func(_ int, j searchJob) []byte {
+			// The whole binary search is one cell: its probes are an
+			// iterative refinement, so the cacheable unit is the search
+			// outcome. Everything a probe reads is in the preimage — the
+			// searched config, the QoS limit from stage 1, the search
+			// bounds, and the probe RunConfig (rps 0: the search sets it).
+			rc := o.mixedRC(0, o.Duration)
+			if rc.Obs != nil || rc.Telemetry != nil {
+				return nil
 			}
-			sum, okRoot := res.PerRoot[j.root]
-			return okRoot && sum.N > 0 && sum.P99 <= j.limit
-		}
-		return binarySearchMax(ok, 2000, j.hiRPS)
-	})
+			return sweepcache.NewKey("fig18/search").
+				Any("cfg", j.cfg).
+				Int("root", int64(j.root)).
+				Float("limit", j.limit).
+				Float("lo", fig18SearchLoRPS).
+				Float("hi", j.hiRPS).
+				Any("rc", rc).
+				Preimage()
+		},
+		sweep.Float64Codec(),
+		func(_ int, j searchJob) float64 {
+			ok := func(rps float64) bool {
+				res := mixedRunAt(j.cfg, o, rps, o.Duration)
+				bad := float64(res.Rejected) + float64(res.Unfinished)
+				if res.Completed == 0 || bad > 0.01*float64(res.Submitted) {
+					return false
+				}
+				sum, okRoot := res.PerRoot[j.root]
+				return okRoot && sum.N > 0 && sum.P99 <= j.limit
+			}
+			return binarySearchMax(ok, fig18SearchLoRPS, j.hiRPS)
+		})
 	rows := make([]Fig18Row, len(jobs))
 	for i, j := range jobs {
 		rows[i] = Fig18Row{App: catalog.Service(j.root).Name, Arch: j.cfg.Name, MaxRPS: maxes[i]}
@@ -197,16 +229,29 @@ func Fig18(o Options) []Fig18Row {
 	return rows
 }
 
-func mixedRunAt(cfg machine.Config, o Options, rps float64, dur sim.Time) *machine.Result {
-	// Every cell of the mixed grid shares the base seed: the cross-arch and
-	// cross-load ratios the figures report are paired comparisons over the
-	// same arrival randomness, exactly as in the sequential driver. (A
-	// constant is still a pure function of the job, so the sweep determinism
-	// contract holds.)
+// fig18SearchLoRPS is the QoS search's lower bound. It is part of every
+// fig18/search cell's preimage: changing it must invalidate cached search
+// outcomes.
+const fig18SearchLoRPS = 2000
+
+// mixedRC is the RunConfig of one mixed-workload cell — the single
+// definition shared by the cells that execute it and the cache preimages
+// that address it, so the two can never drift apart.
+//
+// Every cell of the mixed grid shares the base seed: the cross-arch and
+// cross-load ratios the figures report are paired comparisons over the
+// same arrival randomness, exactly as in the sequential driver. (A
+// constant is still a pure function of the job, so the sweep determinism
+// contract holds.)
+func (o Options) mixedRC(rps float64, dur sim.Time) machine.RunConfig {
 	rc := o.runCfg(o.Apps[0], rps)
 	rc.Duration = dur
 	rc.Mix = workload.SocialNetworkMix()
-	return machine.Run(cfg, rc)
+	return rc
+}
+
+func mixedRunAt(cfg machine.Config, o Options, rps float64, dur sim.Time) *machine.Result {
+	return machine.Run(cfg, o.mixedRC(rps, dur))
 }
 
 // binarySearchMax finds the largest x in [lo, hi] with ok(x), assuming ok
@@ -257,7 +302,11 @@ func Sec68(o Options) Sec68Result {
 	umc := withFleetCoupling(machine.UManycoreConfig())
 	var out Sec68Result
 	var ratios []float64
-	grid := sweep.Map2(o.Parallel, o.Loads, []machine.Config{sc, umc},
+	grid := sweep.MapCached2(o.Parallel, o.Loads, []machine.Config{sc, umc},
+		func(rps float64, cfg machine.Config) []byte {
+			return runPre("run/result", cfg, o.mixedRC(rps, o.Duration))
+		},
+		resultCodec,
 		func(rps float64, cfg machine.Config) *machine.Result {
 			return mixedRun(cfg, o, rps)
 		})

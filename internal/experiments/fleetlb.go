@@ -6,6 +6,7 @@ import (
 	"umanycore/internal/fleet"
 	"umanycore/internal/machine"
 	"umanycore/internal/sweep"
+	"umanycore/internal/sweepcache"
 )
 
 // FleetLBRow is one (policy, per-server load) point of the load-balancer
@@ -54,15 +55,41 @@ func FleetLB(o Options) []FleetLBRow {
 	o = o.normalized()
 	app := appNamed("HomeT")
 	policies := fleet.Policies()
-	grid := sweep.Map2(o.Parallel, policies, o.Loads,
+	type cell struct {
+		fc    fleet.Config
+		total float64
+		seed  int64
+	}
+	mkCell := func(policy string, perServer float64) cell {
+		fc := fleetLBConfig()
+		fc.LB = policy
+		// Policies at one load share a seed: the comparison is paired
+		// over identical arrival processes.
+		return cell{
+			fc:    fc,
+			total: perServer * float64(fc.Servers),
+			seed:  o.jobSeed(fmt.Sprintf("fleetlb/%g", perServer)),
+		}
+	}
+	grid := sweep.MapCached2(o.Parallel, policies, o.Loads,
+		func(policy string, perServer float64) []byte {
+			c := mkCell(policy, perServer)
+			rc := o.runCfg(app, c.total)
+			if rc.Obs != nil || rc.Telemetry != nil || c.fc.NewBalancer != nil {
+				return nil
+			}
+			// Parallel is a worker count, never an input: RunIndependent's
+			// fan-out width doesn't change results, so it must not split
+			// cache entries either.
+			c.fc.Parallel = 0
+			return sweepcache.NewKey("fleet/result").
+				Any("fc", c.fc).Any("app", app).Float("total_rps", c.total).
+				Any("rc", rc).Int("seed", c.seed).Preimage()
+		},
+		fleetCodec,
 		func(policy string, perServer float64) *fleet.Result {
-			fc := fleetLBConfig()
-			fc.LB = policy
-			total := perServer * float64(fc.Servers)
-			// Policies at one load share a seed: the comparison is paired
-			// over identical arrival processes.
-			seed := o.jobSeed(fmt.Sprintf("fleetlb/%g", perServer))
-			return fleet.Run(fc, app, total, o.runCfg(app, total), seed)
+			c := mkCell(policy, perServer)
+			return fleet.Run(c.fc, app, c.total, o.runCfg(app, c.total), c.seed)
 		})
 	rows := make([]FleetLBRow, 0, len(policies)*len(o.Loads))
 	for i, policy := range policies {

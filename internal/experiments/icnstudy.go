@@ -34,7 +34,7 @@ func Fig7(o Options) []Fig7Row {
 		{machine.MeshTopo, false}, {machine.MeshTopo, true},
 		{machine.FatTreeTopo, false}, {machine.FatTreeTopo, true},
 	}
-	grid := sweep.Map2(o.Parallel, loads, variants, func(rps int, v variant) float64 {
+	mkCfg := func(v variant) machine.Config {
 		cfg := machine.ScaleOutConfig()
 		cfg.Topo = v.topo
 		if v.topo == machine.MeshTopo {
@@ -42,10 +42,19 @@ func Fig7(o Options) []Fig7Row {
 			cfg.MeshW, cfg.MeshH = 8, 4
 		}
 		cfg.ICNContention = v.contention
-		key := fmt.Sprintf("fig7/%v/%d", v.topo, rps)
-		res := machine.Run(cfg, o.runCfgKey(app, float64(rps), key))
-		return res.Latency.P99
-	})
+		return cfg
+	}
+	mkRC := func(rps int, v variant) machine.RunConfig {
+		return o.runCfgKey(app, float64(rps), fmt.Sprintf("fig7/%v/%d", v.topo, rps))
+	}
+	grid := sweep.MapCached2(o.Parallel, loads, variants,
+		func(rps int, v variant) []byte {
+			return runPre("run/p99", mkCfg(v), mkRC(rps, v))
+		},
+		sweep.Float64Codec(),
+		func(rps int, v variant) float64 {
+			return machine.Run(mkCfg(v), mkRC(rps, v)).Latency.P99
+		})
 
 	rows := make([]Fig7Row, 0, len(loads))
 	for i, rps := range loads {

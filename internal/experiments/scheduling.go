@@ -54,25 +54,35 @@ func Fig3(o Options) []Fig3Row {
 	o = o.normalized()
 	app := fig3App()
 	queueCounts := []int{1024, 512, 256, 128, 64, 32, 16, 8, 4, 2, 1}
-	grid := sweep.Map2(o.Parallel, queueCounts, []bool{false, true},
+	mkCfg := func(q int, steal bool) machine.Config {
+		cfg := machine.ScaleOutConfig()
+		cfg.Domains = q
+		cfg.TreeAffinity = true
+		// Isolate queue-structure effects from the I/O funnel (the
+		// paper studies ICN contention separately in Fig 7).
+		cfg.IOViaICN = false
+		cfg.Policy = sched.Policy{
+			Name:          "lock-fcfs",
+			CSCycles:      sched.SoftwareCSCycles,
+			DequeueCycles: 100,
+			EnqueueCycles: 60,
+			WorkStealing:  steal,
+			StealCycles:   sched.ZygOSSched().StealCycles,
+		}
+		return cfg
+	}
+	// Steal/no-steal at one queue count share a seed: the pair is a
+	// paired comparison over the same arrival sequence.
+	mkRC := func(q int) machine.RunConfig {
+		return o.runCfgKey(app, 50000, fmt.Sprintf("fig3/%d", q))
+	}
+	grid := sweep.MapCached2(o.Parallel, queueCounts, []bool{false, true},
+		func(q int, steal bool) []byte {
+			return runPre("run/result", mkCfg(q, steal), mkRC(q))
+		},
+		resultCodec,
 		func(q int, steal bool) *machine.Result {
-			cfg := machine.ScaleOutConfig()
-			cfg.Domains = q
-			cfg.TreeAffinity = true
-			// Isolate queue-structure effects from the I/O funnel (the
-			// paper studies ICN contention separately in Fig 7).
-			cfg.IOViaICN = false
-			cfg.Policy = sched.Policy{
-				Name:          "lock-fcfs",
-				CSCycles:      sched.SoftwareCSCycles,
-				DequeueCycles: 100,
-				EnqueueCycles: 60,
-				WorkStealing:  steal,
-				StealCycles:   sched.ZygOSSched().StealCycles,
-			}
-			// Steal/no-steal at one queue count share a seed: the pair is a
-			// paired comparison over the same arrival sequence.
-			return machine.Run(cfg, o.runCfgKey(app, 50000, fmt.Sprintf("fig3/%d", q)))
+			return machine.Run(mkCfg(q, steal), mkRC(q))
 		})
 	rows := make([]Fig3Row, 0, len(queueCounts))
 	for i, q := range queueCounts {
@@ -110,15 +120,25 @@ func Fig6(o Options) []Fig6Row {
 	// One sweep over the full (CS overhead × load) grid; the zero-overhead
 	// column doubles as the normalization baseline, so its NormTail is
 	// exactly 1 as in the sequential path.
-	grid := sweep.Map2(o.Parallel, csPoints, loads, func(cs, rps int) float64 {
+	mkCfg := func(cs int) machine.Config {
 		cfg := machine.ScaleOutConfig()
 		cfg.CentralDispatcher = true
 		cfg.Policy.CSCycles = cs
-		// All CS points at one load share a seed, so the normalized tails
-		// isolate the context-switch overhead from arrival noise.
-		res := machine.Run(cfg, o.runCfgKey(app, float64(rps), fmt.Sprintf("fig6/%d", rps)))
-		return res.Latency.P99
-	})
+		return cfg
+	}
+	// All CS points at one load share a seed, so the normalized tails
+	// isolate the context-switch overhead from arrival noise.
+	mkRC := func(rps int) machine.RunConfig {
+		return o.runCfgKey(app, float64(rps), fmt.Sprintf("fig6/%d", rps))
+	}
+	grid := sweep.MapCached2(o.Parallel, csPoints, loads,
+		func(cs, rps int) []byte {
+			return runPre("run/p99", mkCfg(cs), mkRC(rps))
+		},
+		sweep.Float64Codec(),
+		func(cs, rps int) float64 {
+			return machine.Run(mkCfg(cs), mkRC(rps)).Latency.P99
+		})
 	rows := make([]Fig6Row, 0, len(csPoints))
 	for i, cs := range csPoints {
 		row := Fig6Row{CSCycles: cs, NormTail: make(map[int]float64)}

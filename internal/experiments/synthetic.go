@@ -45,13 +45,19 @@ func Fig20(o Options) []Fig20Row {
 			}
 		}
 	}
-	tails := sweep.Map(o.Parallel, jobs, func(_ int, j cell) float64 {
-		// The three architectures at one (distribution, load) point share a
-		// seed, keeping the bar-group comparison paired.
-		key := fmt.Sprintf("fig20/%s/%g", j.dist, j.rps)
-		res := machine.Run(j.cfg, o.runCfgKey(j.app, j.rps, key))
-		return res.Latency.P99
-	})
+	// The three architectures at one (distribution, load) point share a
+	// seed, keeping the bar-group comparison paired.
+	mkRC := func(j cell) machine.RunConfig {
+		return o.runCfgKey(j.app, j.rps, fmt.Sprintf("fig20/%s/%g", j.dist, j.rps))
+	}
+	tails := sweep.MapCached(o.Parallel, jobs,
+		func(_ int, j cell) []byte {
+			return runPre("run/p99", j.cfg, mkRC(j))
+		},
+		sweep.Float64Codec(),
+		func(_ int, j cell) float64 {
+			return machine.Run(j.cfg, mkRC(j)).Latency.P99
+		})
 	var rows []Fig20Row
 	for i, j := range jobs {
 		if i%len(archSet()) == 0 {

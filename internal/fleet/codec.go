@@ -1,0 +1,97 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"umanycore/internal/machine"
+	"umanycore/internal/stats"
+)
+
+// EncodeResult serializes a fleet Result to the deterministic cache payload
+// encoding: fixed field order, shortest-exact floats, per-server results in
+// server order via machine.EncodeResult. Results carrying obs/telemetry
+// attachments are not cacheable (see machine.EncodeResult).
+func EncodeResult(r *Result) ([]byte, error) {
+	if r == nil {
+		return nil, errors.New("fleet: nil result")
+	}
+	if r.Obs != nil || r.Telemetry != nil {
+		return nil, errors.New("fleet: result with obs/telemetry attached is not cacheable")
+	}
+	perServer := make([][]byte, len(r.PerServer))
+	for i, sr := range r.PerServer {
+		b, err := machine.EncodeResult(sr)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: server %d: %w", i, err)
+		}
+		perServer[i] = b
+	}
+	var o stats.JSONObject
+	o.Str("machine", r.Machine).
+		Str("app", r.App).
+		Float("total_rps", r.TotalRPS)
+	lat, _ := r.Latency.MarshalJSON()
+	o.Raw("latency", lat).
+		Float("tail_to_avg", r.TailToAvg).
+		Int("submitted", int64(r.Submitted)).
+		Int("completed", int64(r.Completed)).
+		Int("rejected", int64(r.Rejected)).
+		Int("unfinished", r.Unfinished).
+		Str("balancer", r.Balancer).
+		Int("remote_served", int64(r.RemoteServed)).
+		Float("mean_utilization", r.MeanUtilization).
+		RawArr("per_server", perServer)
+	return o.Bytes(), nil
+}
+
+// fleetResultJSON mirrors the EncodeResult layout for decoding.
+type fleetResultJSON struct {
+	Machine         string            `json:"machine"`
+	App             string            `json:"app"`
+	TotalRPS        float64           `json:"total_rps"`
+	Latency         stats.Summary     `json:"latency"`
+	TailToAvg       float64           `json:"tail_to_avg"`
+	Submitted       uint64            `json:"submitted"`
+	Completed       uint64            `json:"completed"`
+	Rejected        uint64            `json:"rejected"`
+	Unfinished      int64             `json:"unfinished"`
+	Balancer        string            `json:"balancer"`
+	RemoteServed    uint64            `json:"remote_served"`
+	MeanUtilization float64           `json:"mean_utilization"`
+	PerServer       []json.RawMessage `json:"per_server"`
+}
+
+// DecodeResult inverts EncodeResult.
+func DecodeResult(b []byte) (*Result, error) {
+	var m fleetResultJSON
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("fleet: decoding cached result: %w", err)
+	}
+	r := &Result{
+		Machine:         m.Machine,
+		App:             m.App,
+		TotalRPS:        m.TotalRPS,
+		Latency:         m.Latency,
+		TailToAvg:       m.TailToAvg,
+		Submitted:       m.Submitted,
+		Completed:       m.Completed,
+		Rejected:        m.Rejected,
+		Unfinished:      m.Unfinished,
+		Balancer:        m.Balancer,
+		RemoteServed:    m.RemoteServed,
+		MeanUtilization: m.MeanUtilization,
+	}
+	if m.PerServer != nil {
+		r.PerServer = make([]*machine.Result, len(m.PerServer))
+		for i, raw := range m.PerServer {
+			sr, err := machine.DecodeResult(raw)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: server %d: %w", i, err)
+			}
+			r.PerServer[i] = sr
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,96 @@
+package fleet
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"umanycore/internal/machine"
+	"umanycore/internal/sim"
+)
+
+func codecFleetRun(t *testing.T) *Result {
+	t.Helper()
+	fc := DefaultConfig(machine.UManycoreConfig())
+	fc.Servers = 2
+	rc := machine.RunConfig{Duration: 80 * sim.Millisecond, Warmup: 16 * sim.Millisecond, Drain: sim.Second}
+	return Run(fc, homeT(t), 6000, rc, 3)
+}
+
+func TestFleetResultCodecRoundTrip(t *testing.T) {
+	r := codecFleetRun(t)
+	b, err := EncodeResult(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResult(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Fatalf("round trip changed the result:\n cold: %+v\n warm: %+v", r, got)
+	}
+	b2, err := EncodeResult(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatal("re-encode of decoded result changed bytes")
+	}
+	if len(got.PerServer) != 2 {
+		t.Fatalf("per-server results lost: %d", len(got.PerServer))
+	}
+}
+
+func TestFleetResultCodecRejects(t *testing.T) {
+	if _, err := EncodeResult(nil); err == nil {
+		t.Fatal("nil result encoded")
+	}
+	if _, err := DecodeResult([]byte("{")); err == nil {
+		t.Fatal("truncated JSON decoded")
+	}
+	if _, err := DecodeResult([]byte(`{"per_server":["nope"]}`)); err == nil {
+		t.Fatal("bad per-server entry decoded")
+	}
+}
+
+// FuzzParseLB: no input may panic, every Policies() name (and the aliases)
+// must parse to a working factory, and parse success must be consistent with
+// itself across calls.
+func FuzzParseLB(f *testing.F) {
+	for _, name := range Policies() {
+		f.Add(name)
+	}
+	for _, name := range []string{"", "roundrobin", "random", "uniform", "lor", "jsq", "pow2", "two", "RR", "p2c ", "p2c\x00", "nonsense", "least\n"} {
+		f.Add(name)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		mk, err := ParseLB(name)
+		_, err2 := ParseLB(name)
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("ParseLB(%q) flapped: %v vs %v", name, err, err2)
+		}
+		if err != nil {
+			if mk != nil {
+				t.Fatalf("ParseLB(%q) returned factory with error", name)
+			}
+			return
+		}
+		// A parsed factory must yield fresh, usable balancers.
+		b1, b2 := mk(), mk()
+		if b1 == nil || b2 == nil {
+			t.Fatalf("ParseLB(%q) factory returned nil balancer", name)
+		}
+	})
+}
+
+func TestParseLBKnownPolicies(t *testing.T) {
+	for _, name := range Policies() {
+		if _, err := ParseLB(name); err != nil {
+			t.Errorf("ParseLB(%q): %v", name, err)
+		}
+	}
+	if _, err := ParseLB("definitely-not-a-policy"); err == nil {
+		t.Error("unknown policy parsed")
+	}
+}

@@ -1,0 +1,129 @@
+package machine
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"umanycore/internal/stats"
+)
+
+// The result codec carries a *Result through the sweep cell cache. Encode
+// is deterministic down to the byte — fixed field order via stats.JSONObject,
+// shortest-exact floats, per-root summaries in sorted key order — so a
+// verify-mode recomputation that byte-equals the cached payload proves the
+// cell reproduced exactly. Decode inverts Encode field-for-field (including
+// the raw latency sample and its insertion-order sum), so a warm cell feeds
+// every figure table the same values a cold run would.
+
+// errUncacheableResult marks results carrying observability attachments:
+// spans and telemetry series are big, run-scoped, and never read by figure
+// drivers, so cells that enable them simply bypass the cache.
+var errUncacheableResult = errors.New("machine: result with obs/telemetry attached is not cacheable")
+
+// EncodeResult serializes a Result to the cache payload encoding.
+func EncodeResult(r *Result) ([]byte, error) {
+	if r == nil {
+		return nil, errors.New("machine: nil result")
+	}
+	if r.Obs != nil || r.Telemetry != nil {
+		return nil, errUncacheableResult
+	}
+	var o stats.JSONObject
+	o.Str("machine", r.Machine).
+		Str("app", r.App).
+		Float("rps", r.RPS)
+	lat, _ := r.Latency.MarshalJSON()
+	o.Raw("latency", lat)
+	if r.Sample != nil {
+		o.Obj("sample", func(s *stats.JSONObject) {
+			s.Float("sum", r.Sample.Sum()).
+				FloatArr("values", r.Sample.UnsafeValues())
+		})
+	}
+	roots := make([]int, 0, len(r.PerRoot))
+	for root := range r.PerRoot {
+		roots = append(roots, root)
+	}
+	sort.Ints(roots)
+	o.Obj("per_root", func(p *stats.JSONObject) {
+		for _, root := range roots {
+			sum, _ := r.PerRoot[root].MarshalJSON()
+			p.Raw(strconv.Itoa(root), sum)
+		}
+	})
+	o.Float("tail_to_avg", r.TailToAvg).
+		Int("submitted", int64(r.Submitted)).
+		Int("completed", int64(r.Completed)).
+		Int("rejected", int64(r.Rejected)).
+		Int("unfinished", r.Unfinished).
+		Int("invocations", int64(r.Invocations)).
+		Float("utilization", r.Utilization).
+		Float("mean_hops", r.MeanHops).
+		Float("max_link_util", r.MaxLinkUtil).
+		Int("events", int64(r.Events))
+	return o.Bytes(), nil
+}
+
+// resultJSON mirrors the EncodeResult layout for decoding.
+type resultJSON struct {
+	Machine string        `json:"machine"`
+	App     string        `json:"app"`
+	RPS     float64       `json:"rps"`
+	Latency stats.Summary `json:"latency"`
+	Sample  *struct {
+		Sum    float64   `json:"sum"`
+		Values []float64 `json:"values"`
+	} `json:"sample"`
+	PerRoot     map[string]stats.Summary `json:"per_root"`
+	TailToAvg   float64                  `json:"tail_to_avg"`
+	Submitted   uint64                   `json:"submitted"`
+	Completed   uint64                   `json:"completed"`
+	Rejected    uint64                   `json:"rejected"`
+	Unfinished  int64                    `json:"unfinished"`
+	Invocations uint64                   `json:"invocations"`
+	Utilization float64                  `json:"utilization"`
+	MeanHops    float64                  `json:"mean_hops"`
+	MaxLinkUtil float64                  `json:"max_link_util"`
+	Events      uint64                   `json:"events"`
+}
+
+// DecodeResult inverts EncodeResult.
+func DecodeResult(b []byte) (*Result, error) {
+	var m resultJSON
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("machine: decoding cached result: %w", err)
+	}
+	r := &Result{
+		Machine:     m.Machine,
+		App:         m.App,
+		RPS:         m.RPS,
+		Latency:     m.Latency,
+		TailToAvg:   m.TailToAvg,
+		Submitted:   m.Submitted,
+		Completed:   m.Completed,
+		Rejected:    m.Rejected,
+		Unfinished:  m.Unfinished,
+		Invocations: m.Invocations,
+		Utilization: m.Utilization,
+		MeanHops:    m.MeanHops,
+		MaxLinkUtil: m.MaxLinkUtil,
+		Events:      m.Events,
+	}
+	if m.Sample != nil {
+		r.Sample = stats.RestoreSample(m.Sample.Values, m.Sample.Sum)
+	}
+	if m.PerRoot != nil {
+		r.PerRoot = make(map[int]stats.Summary, len(m.PerRoot))
+		for k, v := range m.PerRoot {
+			root, err := strconv.Atoi(k)
+			if err != nil {
+				return nil, fmt.Errorf("machine: bad per_root key %q", k)
+			}
+			r.PerRoot[root] = v
+		}
+	}
+	return r, nil
+}

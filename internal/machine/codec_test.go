@@ -1,0 +1,99 @@
+package machine
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"umanycore/internal/obs"
+	"umanycore/internal/sim"
+	"umanycore/internal/workload"
+)
+
+// codecRun produces a small but fully populated result (mixed load, so
+// PerRoot and the sample are non-trivial).
+func codecRun(t *testing.T) *Result {
+	t.Helper()
+	app := workload.SocialNetworkApps()[0]
+	return Run(UManycoreConfig(), RunConfig{
+		App:      app,
+		Mix:      workload.SocialNetworkMix(),
+		RPS:      4000,
+		Duration: 100 * sim.Millisecond,
+		Warmup:   20 * sim.Millisecond,
+		Drain:    sim.Second,
+		Seed:     11,
+	})
+}
+
+func TestResultCodecRoundTrip(t *testing.T) {
+	r := codecRun(t)
+	b, err := EncodeResult(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResult(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The decoded result must be indistinguishable from the computed one —
+	// warm figure tables read the same numbers as cold ones.
+	if !reflect.DeepEqual(r, got) {
+		t.Fatalf("round trip changed the result:\n cold: %+v\n warm: %+v", r, got)
+	}
+	// And re-encoding must reproduce the exact bytes (the verify-mode
+	// contract): shortest round-trip floats are canonical.
+	b2, err := EncodeResult(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatal("re-encode of decoded result changed bytes")
+	}
+}
+
+func TestResultCodecPreservesSampleSum(t *testing.T) {
+	r := codecRun(t)
+	if r.Sample == nil || r.Sample.N() == 0 {
+		t.Skip("run produced no sample")
+	}
+	b, err := EncodeResult(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResult(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sum is stored verbatim, not recomputed: float addition is not
+	// associative, and the figure pipelines divide by it.
+	if got.Sample.Sum() != r.Sample.Sum() {
+		t.Fatalf("sample sum drifted: %v vs %v", got.Sample.Sum(), r.Sample.Sum())
+	}
+	if got.Sample.N() != r.Sample.N() {
+		t.Fatalf("sample size changed: %d vs %d", got.Sample.N(), r.Sample.N())
+	}
+	if got.Latency.P99 != r.Latency.P99 {
+		t.Fatalf("p99 drifted: %v vs %v", got.Latency.P99, r.Latency.P99)
+	}
+}
+
+func TestResultCodecRefusesObsAttachments(t *testing.T) {
+	if _, err := EncodeResult(nil); err == nil {
+		t.Fatal("nil result encoded")
+	}
+	r := codecRun(t)
+	r.Obs = &obs.Run{}
+	if _, err := EncodeResult(r); err == nil {
+		t.Fatal("result with obs attachment encoded; it must be uncacheable")
+	}
+}
+
+func TestResultCodecRejectsGarbage(t *testing.T) {
+	if _, err := DecodeResult([]byte("not json")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+	if _, err := DecodeResult([]byte(`{"per_root":{"not-a-number":{}}}`)); err == nil {
+		t.Fatal("bad per_root key decoded")
+	}
+}

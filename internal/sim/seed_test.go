@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// TestDeriveSeedAvalanche: flipping any single input bit (of base or idx)
+// must flip a substantial fraction of output bits. A full-avalanche hash
+// flips 32 of 64 on average; we require a mean of at least 16 (1/4) per
+// flipped input bit, which additive-stride derivations fail catastrophically
+// (flipping a low base bit flips ~1 output bit).
+func TestDeriveSeedAvalanche(t *testing.T) {
+	bases := []int64{0, 1, 42, -1, 1 << 32, -987654321}
+	idxs := []int64{0, 1, 7, 1000, -3}
+	for _, base := range bases {
+		for _, idx := range idxs {
+			ref := uint64(DeriveSeed(base, idx))
+			for bit := 0; bit < 64; bit++ {
+				var total int
+				flipBase := uint64(DeriveSeed(base^(1<<bit), idx))
+				total = bits.OnesCount64(ref ^ flipBase)
+				if total < 16 {
+					t.Errorf("base=%d idx=%d: flipping base bit %d changed only %d/64 output bits", base, idx, bit, total)
+				}
+				flipIdx := uint64(DeriveSeed(base, idx^(1<<bit)))
+				total = bits.OnesCount64(ref ^ flipIdx)
+				if total < 16 {
+					t.Errorf("base=%d idx=%d: flipping idx bit %d changed only %d/64 output bits", base, idx, bit, total)
+				}
+			}
+		}
+	}
+}
+
+// TestDeriveSeedNoCollisions: 1e5 (base, idx) grid points must map to 1e5
+// distinct seeds. This grid includes exactly the additive-stride trap
+// (consecutive bases × consecutive indices).
+func TestDeriveSeedNoCollisions(t *testing.T) {
+	const nBase, nIdx = 500, 200 // 100,000 pairs
+	seen := make(map[int64]struct{}, nBase*nIdx)
+	for b := 0; b < nBase; b++ {
+		for i := 0; i < nIdx; i++ {
+			s := DeriveSeed(int64(b), int64(i))
+			if _, dup := seen[s]; dup {
+				t.Fatalf("collision at base=%d idx=%d", b, i)
+			}
+			seen[s] = struct{}{}
+		}
+	}
+}
+
+// TestDeriveSeedStrideResistance pins the regression DeriveSeed exists for:
+// with additive strides, (base, idx) and (base+K, idx-1) share a stream.
+func TestDeriveSeedStrideResistance(t *testing.T) {
+	const K = int64(-0x61c8864680b583eb) // 0x9e3779b97f4a7c15 as int64
+	for _, base := range []int64{0, 42, -7} {
+		for idx := int64(1); idx < 50; idx++ {
+			if DeriveSeed(base, idx) == DeriveSeed(base+K, idx-1) {
+				t.Fatalf("stride collision at base=%d idx=%d", base, idx)
+			}
+		}
+	}
+}

@@ -77,6 +77,36 @@ func (o *JSONObject) Raw(k string, v []byte) *JSONObject {
 	return o
 }
 
+// FloatArr appends an array of floats, each in shortest-exact form — the
+// encoding the sweep cache uses for raw latency samples, so decode followed
+// by re-encode reproduces the bytes exactly.
+func (o *JSONObject) FloatArr(k string, vs []float64) *JSONObject {
+	o.key(k)
+	o.b.WriteByte('[')
+	for i, v := range vs {
+		if i > 0 {
+			o.b.WriteByte(',')
+		}
+		o.b.WriteString(FormatFloat(v))
+	}
+	o.b.WriteByte(']')
+	return o
+}
+
+// RawArr appends an array of pre-encoded JSON values verbatim.
+func (o *JSONObject) RawArr(k string, vs [][]byte) *JSONObject {
+	o.key(k)
+	o.b.WriteByte('[')
+	for i, v := range vs {
+		if i > 0 {
+			o.b.WriteByte(',')
+		}
+		o.b.Write(v)
+	}
+	o.b.WriteByte(']')
+	return o
+}
+
 // Obj appends a nested object built by fn.
 func (o *JSONObject) Obj(k string, fn func(*JSONObject)) *JSONObject {
 	var nested JSONObject

@@ -226,6 +226,17 @@ func (s *Sample) Values() []float64 {
 // it being re-sorted by any quantile query.
 func (s *Sample) UnsafeValues() []float64 { return s.xs }
 
+// RestoreSample rebuilds a Sample from a previously captured observation
+// slice and its running sum — the sweep-cache decode path. The sum is taken
+// verbatim rather than recomputed because float addition is not associative:
+// the original sum was accumulated in insertion order, and quantile queries
+// may have re-sorted xs since, so re-adding would drift in the last bits and
+// break the cache's bit-identical warm-run contract. The slice is owned by
+// the returned sample afterwards.
+func RestoreSample(xs []float64, sum float64) *Sample {
+	return &Sample{xs: xs, sum: sum, sorted: sort.Float64sAreSorted(xs)}
+}
+
 // Reset clears the sample for reuse.
 func (s *Sample) Reset() {
 	s.xs = s.xs[:0]

@@ -59,8 +59,9 @@ func Busy() time.Duration { return time.Duration(busyNanos.Load()) }
 // /progress endpoint). Like busyNanos they live in the non-deterministic
 // wall-clock domain and never feed back into results.
 var (
-	jobsDone  atomic.Int64
-	jobsTotal atomic.Int64
+	jobsDone   atomic.Int64
+	jobsTotal  atomic.Int64
+	jobsCached atomic.Int64
 )
 
 // ResetProgress zeroes the progress counters and records total upcoming
@@ -68,6 +69,7 @@ var (
 // meaningful denominator.
 func ResetProgress(total int) {
 	jobsDone.Store(0)
+	jobsCached.Store(0)
 	jobsTotal.Store(int64(total))
 }
 
@@ -75,6 +77,14 @@ func ResetProgress(total int) {
 // grows as Map calls register work when no ResetProgress preceded them.
 func Progress() (done, total int64) {
 	return jobsDone.Load(), jobsTotal.Load()
+}
+
+// ProgressDetail returns (done, cached, total): done counts every finished
+// job, cached the subset satisfied from the cell cache without computing.
+// ETA math must weight the two separately — a cache hit costs microseconds,
+// not a simulation (see telemetry's /progress handler).
+func ProgressDetail() (done, cached, total int64) {
+	return jobsDone.Load(), jobsCached.Load(), jobsTotal.Load()
 }
 
 // ensureTotal raises jobsTotal so a Map call's items are always counted in

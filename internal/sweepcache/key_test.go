@@ -1,0 +1,173 @@
+package sweepcache
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestKeyDistinguishesDrivers(t *testing.T) {
+	a := NewKey("run/result").Int("x", 1).Preimage()
+	b := NewKey("run/p99").Int("x", 1).Preimage()
+	if bytes.Equal(a, b) {
+		t.Fatal("different driver tags produced the same preimage")
+	}
+}
+
+func TestKeyDistinguishesLabelsAndValues(t *testing.T) {
+	base := NewKey("t").Int("x", 1).Preimage()
+	for name, other := range map[string][]byte{
+		"different label":        NewKey("t").Int("y", 1).Preimage(),
+		"different value":        NewKey("t").Int("x", 2).Preimage(),
+		"different type":         NewKey("t").Float("x", 1).Preimage(),
+		"string shadowing":       NewKey("t").Str("x", "\x01").Preimage(),
+		"extra field":            NewKey("t").Int("x", 1).Int("", 0).Preimage(),
+		"negative zero vs zero":  NewKey("t").Float("x", 0).Preimage(),
+		"merged label and value": NewKey("t").Str("x1", "").Preimage(),
+	} {
+		if other == nil {
+			t.Fatalf("%s: preimage failed", name)
+		}
+		if bytes.Equal(base, other) {
+			t.Errorf("%s: collided with base preimage", name)
+		}
+	}
+	negZero := NewKey("t").Float("x", negzero()).Preimage()
+	posZero := NewKey("t").Float("x", 0).Preimage()
+	if bytes.Equal(negZero, posZero) {
+		t.Error("-0 and +0 encode identically; IEEE bit patterns must stay distinct")
+	}
+}
+
+func negzero() float64 {
+	z := 0.0
+	return -z
+}
+
+func TestKeyMapOrderIndependent(t *testing.T) {
+	// Build the same logical map many times; Go randomizes iteration order,
+	// so identical preimages across attempts mean entries really are sorted.
+	m := map[string]int{"a": 1, "b": 2, "c": 3, "d": 4, "e": 5, "f": 6}
+	want := NewKey("t").Any("m", m).Preimage()
+	if want == nil {
+		t.Fatal("map preimage failed")
+	}
+	for i := 0; i < 50; i++ {
+		got := NewKey("t").Any("m", m).Preimage()
+		if !bytes.Equal(want, got) {
+			t.Fatalf("map encoding unstable on attempt %d", i)
+		}
+	}
+	other := NewKey("t").Any("m", map[string]int{"a": 1, "b": 2, "c": 3, "d": 4, "e": 5, "f": 7}).Preimage()
+	if bytes.Equal(want, other) {
+		t.Fatal("maps with different values collided")
+	}
+}
+
+func TestKeyStructsEncodeTypeAndFields(t *testing.T) {
+	type p1 struct{ A, B int }
+	type p2 struct{ A, B int }
+	a := NewKey("t").Any("v", p1{1, 2}).Preimage()
+	b := NewKey("t").Any("v", p2{1, 2}).Preimage()
+	if bytes.Equal(a, b) {
+		t.Fatal("distinct struct types with identical fields collided")
+	}
+	c := NewKey("t").Any("v", p1{2, 1}).Preimage()
+	if bytes.Equal(a, c) {
+		t.Fatal("swapped field values collided")
+	}
+}
+
+func TestKeyNilnessDistinct(t *testing.T) {
+	var nilSlice []int
+	a := NewKey("t").Any("v", nilSlice).Preimage()
+	b := NewKey("t").Any("v", []int{}).Preimage()
+	if bytes.Equal(a, b) {
+		t.Fatal("nil slice and empty slice collided")
+	}
+	var np *int
+	x := 0
+	c := NewKey("t").Any("v", np).Preimage()
+	d := NewKey("t").Any("v", &x).Preimage()
+	if bytes.Equal(c, d) {
+		t.Fatal("nil pointer and pointer-to-zero collided")
+	}
+}
+
+func TestKeyLiveFuncPoisons(t *testing.T) {
+	type cfg struct{ F func() }
+	if pre := NewKey("t").Any("v", cfg{F: func() {}}).Preimage(); pre != nil {
+		t.Fatal("live func encoded; it has no canonical form")
+	}
+	if pre := NewKey("t").Any("v", cfg{}).Preimage(); pre == nil {
+		t.Fatal("nil func field poisoned the key; it should encode as nil")
+	}
+}
+
+func TestKeyCyclePoisons(t *testing.T) {
+	type node struct{ Next *node }
+	n := &node{}
+	n.Next = n
+	k := NewKey("t").Any("v", n)
+	if k.Preimage() != nil || k.Err() == nil {
+		t.Fatal("cyclic structure did not poison the key")
+	}
+}
+
+func TestKeyHashSchemaVersioned(t *testing.T) {
+	pre := NewKey("t").Int("x", 1).Preimage()
+	h := KeyHash(pre)
+	if len(h) != 64 {
+		t.Fatalf("hash length %d, want 64 hex chars", len(h))
+	}
+	if h == KeyHash(append([]byte(nil), pre[:len(pre)-1]...)) {
+		t.Fatal("truncated preimage hashed identically")
+	}
+}
+
+// FuzzCanonicalKey checks the field appenders never panic and that the
+// framing is injective: two different field sequences must never produce the
+// same preimage bytes. The fuzz input is interpreted as a little program
+// over the typed appenders; two programs with different remaining inputs
+// that normalize differently but encode equal bytes would be a framing hole.
+func FuzzCanonicalKey(f *testing.F) {
+	f.Add("drv", "label", "value", int64(7), 3.14, true)
+	f.Add("", "", "", int64(0), 0.0, false)
+	f.Add("run/result", "cfg", "x\x00y", int64(-1), -0.0, true)
+	f.Add("t", "F", "\x01s", int64(255), 1e308, false)
+	f.Fuzz(func(t *testing.T, driver, label, sval string, ival int64, fval float64, bval bool) {
+		k := NewKey(driver).Str(label, sval).Int(label, ival).Float(label, fval).Bool(label, bval)
+		pre := k.Preimage()
+		if pre == nil {
+			t.Fatal("typed appenders must never fail")
+		}
+		// Injectivity probes: perturb one field and require different bytes.
+		if bytes.Equal(pre, NewKey(driver).Str(label, sval+"\x00").Int(label, ival).Float(label, fval).Bool(label, bval).Preimage()) {
+			t.Fatal("string value perturbation collided")
+		}
+		if bytes.Equal(pre, NewKey(driver).Str(label, sval).Int(label, ival+1).Float(label, fval).Bool(label, bval).Preimage()) {
+			t.Fatal("int value perturbation collided")
+		}
+		if bytes.Equal(pre, NewKey(driver).Str(label, sval).Int(label, ival).Float(label, fval).Bool(label, !bval).Preimage()) {
+			t.Fatal("bool value perturbation collided")
+		}
+		if bytes.Equal(pre, NewKey(driver+"x").Str(label, sval).Int(label, ival).Float(label, fval).Bool(label, bval).Preimage()) {
+			t.Fatal("driver perturbation collided")
+		}
+		// The label/value boundary must be unambiguous: moving a byte across
+		// it has to change the encoding.
+		if len(sval) > 0 {
+			moved := NewKey(driver).Str(label+sval[:1], sval[1:]).Int(label, ival).Float(label, fval).Bool(label, bval).Preimage()
+			if bytes.Equal(pre, moved) {
+				t.Fatal("label/value boundary ambiguous")
+			}
+		}
+		// Any must agree with itself and stay stable across calls.
+		if label != sval {
+			a := NewKey(driver).Any("v", map[string]int64{label: ival, sval: ival + 1}).Preimage()
+			b := NewKey(driver).Any("v", map[string]int64{sval: ival + 1, label: ival}).Preimage()
+			if !bytes.Equal(a, b) {
+				t.Fatal("map literal order leaked into the preimage")
+			}
+		}
+	})
+}

@@ -102,9 +102,15 @@ func handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	var b strings.Builder
 
-	done, total := sweep.Progress()
+	done, cached, total := sweep.ProgressDetail()
 	writeProm(&b, "um_sweep_jobs_done", "counter", "Sweep jobs completed.", float64(done))
+	writeProm(&b, "um_sweep_jobs_cached", "counter", "Sweep jobs satisfied from the cell cache.", float64(cached))
 	writeProm(&b, "um_sweep_jobs_total", "gauge", "Sweep jobs scheduled.", float64(total))
+
+	hits, misses, invalid := sweep.CacheCounters()
+	writeProm(&b, "um_sweepcache_hits", "counter", "Cell cache hits.", float64(hits))
+	writeProm(&b, "um_sweepcache_misses", "counter", "Cell cache misses.", float64(misses))
+	writeProm(&b, "um_sweepcache_invalid", "counter", "Cell cache entries invalidated (corrupt/stale).", float64(invalid))
 
 	if r := Published(); r != nil {
 		if r.Timeline != nil {
@@ -150,20 +156,38 @@ func writeProm(b *strings.Builder, name, typ, help string, v float64) {
 // handleProgress reports sweep progress plus a wall-clock ETA extrapolated
 // from the jobs completed so far.
 func handleProgress(w http.ResponseWriter, _ *http.Request) {
-	done, total := sweep.Progress()
+	done, cached, total := sweep.ProgressDetail()
 	elapsed := time.Duration(time.Now().UnixNano() - serveStart.Load()).Seconds()
-	eta := -1.0
-	if done > 0 && total > done {
-		eta = elapsed / float64(done) * float64(total-done)
-	}
+	eta := etaSeconds(done, cached, total, elapsed)
 	var o stats.JSONObject
 	o.Int("done", done).
+		Int("cached", cached).
 		Int("total", total).
 		FloatFixed("elapsed_s", elapsed, 3).
 		FloatFixed("eta_s", eta, 3)
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(o.Bytes())
 	w.Write([]byte("\n"))
+}
+
+// etaSeconds extrapolates remaining wall time from the cells computed so
+// far. Cache hits finish in microseconds, so they carry no information
+// about how long a simulated cell takes: the per-cell rate divides elapsed
+// time by *computed* cells only (done - cached), and the remaining cells
+// are costed at that rate (a pessimistic bound — some may turn out to be
+// hits too, and then the ETA drops as they land). Returns -1 (unknown)
+// until at least one cell has actually been computed, and 0 once every
+// scheduled cell is done.
+func etaSeconds(done, cached, total int64, elapsed float64) float64 {
+	remaining := total - done
+	if remaining <= 0 && total > 0 {
+		return 0
+	}
+	computed := done - cached
+	if computed <= 0 || remaining <= 0 {
+		return -1
+	}
+	return elapsed / float64(computed) * float64(remaining)
 }
 
 func handleSeriesCSV(w http.ResponseWriter, _ *http.Request) {

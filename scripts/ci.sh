@@ -29,11 +29,26 @@ else
     go test -race ./...
 fi
 
-# The observability merge path, the sweep runner, the streaming-telemetry
-# layer, and the coupled fleet carry the repo's determinism/race contracts;
-# race-check them on every run, quick included.
-echo "== go test -race (obs + sweep + telemetry + fleet) =="
-go test -race -short ./internal/obs/... ./internal/sweep/... ./internal/telemetry/... ./internal/fleet/...
+# The observability merge path, the sweep runner, the cell cache, the
+# streaming-telemetry layer, and the coupled fleet carry the repo's
+# determinism/race contracts; race-check them on every run, quick included.
+echo "== go test -race (obs + sweep + sweepcache + telemetry + fleet) =="
+go test -race -short ./internal/obs/... ./internal/sweep/... ./internal/sweepcache/... ./internal/telemetry/... ./internal/fleet/...
+
+# Cache gate: a cold run must fill the cache, a warm run must reuse it, a
+# verify run must recompute without a single byte of drift — and all three
+# must emit byte-identical figure JSON. This is the end-to-end version of the
+# determinism battery, through the real CLI.
+echo "== sweep cache cold/warm/verify =="
+cachedir=$(mktemp -d)
+trap 'rm -rf "$cachedir"' EXIT
+go build -o "$cachedir/umbench" ./cmd/umbench
+"$cachedir/umbench" -quick -figures lb -json "$cachedir/cold.json" -cache "$cachedir/cells" >/dev/null
+"$cachedir/umbench" -quick -figures lb -json "$cachedir/warm.json" -cache "$cachedir/cells" >/dev/null
+"$cachedir/umbench" -quick -figures lb -json "$cachedir/verify.json" -cache "$cachedir/cells" -cache-verify >/dev/null
+cmp "$cachedir/cold.json" "$cachedir/warm.json"
+cmp "$cachedir/cold.json" "$cachedir/verify.json"
+echo "cache cold/warm/verify byte-identical"
 
 echo "== bench smoke (allocation + sweep + telemetry benchmarks, 1 iteration) =="
 go test -run xxx -bench 'BenchmarkEngine|BenchmarkMachineRun' -benchtime 1x \
