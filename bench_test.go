@@ -306,6 +306,41 @@ func BenchmarkEndToEndGridWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetShardWorkers times one coupled 16-server fleet simulation
+// at several PDES shard worker counts and reports events/second — the
+// within-simulation parallelism counterpart of BenchmarkEndToEndGridWorkers
+// (which parallelizes across independent simulations). Results are
+// bit-identical across entries (fleet's TestShardWorkerInvariance), so only
+// the timing differs; on a single-CPU host the curve shows pool overhead,
+// not speedup.
+func BenchmarkFleetShardWorkers(b *testing.B) {
+	app := SocialNetworkApps()[0]
+	// -1 is the single-engine reference execution: its gap to workers=1
+	// is the cost of the fabric's window machinery itself.
+	for _, workers := range []int{-1, 1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			fc := DefaultFleet(UManycore())
+			fc.Servers = 16
+			fc.CrossServerFrac = 0.1
+			fc.LB = "p2c"
+			fc.ShardWorkers = workers
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				res := RunFleet(fc, app, 16*8000, RunConfig{
+					RPS: 16 * 8000, Duration: 60 * Millisecond,
+					Warmup: 10 * Millisecond, Drain: 300 * Millisecond,
+					Seed: int64(i + 1),
+				}, int64(i+1))
+				events += res.EventsProcessed
+				b.ReportMetric(float64(res.EventsProcessed)/res.WallSeconds, "events/sec")
+			}
+			if events == 0 {
+				b.Fatal("no events processed")
+			}
+		})
+	}
+}
+
 // BenchmarkFig3Workers times the Figure 3 queue sweep (22 cells) at 1 vs all
 // workers — the Map2 counterpart of BenchmarkEndToEndGridWorkers.
 func BenchmarkFig3Workers(b *testing.B) {

@@ -3,12 +3,14 @@
 //
 // Usage:
 //
-//	umbench [-quick] [-seed N] [-parallel N] [-figures 1,2,3,...] [-json FILE]
+//	umbench [-quick] [-seed N] [-parallel N] [-shard-workers N]
+//	        [-figures 1,2,3,...] [-json FILE]
 //	        [-cache DIR] [-cache-verify] [-cache-clear]
 //
-// Figure names: 1 2 3 4 5 6 7 8 9 e2e 15 18 19 20 68 power lb. Default: all.
-// -parallel bounds the sweep worker pool (default: all cores); output is
-// bit-identical for any value.
+// Figure names: 1 2 3 4 5 6 7 8 9 e2e 15 18 19 20 68 power lb scale.
+// Default: all. -parallel bounds the sweep worker pool (default: all cores)
+// and -shard-workers the per-fleet PDES worker pool; output is bit-identical
+// for any value of either.
 //
 // -cache DIR keeps a content-addressed store of finished sweep cells, so an
 // interrupted or re-run regeneration only simulates cells whose inputs
@@ -40,7 +42,8 @@ func main() {
 	flag.StringVar(&jsonOut, "json", "", "also write the e2e grid as JSON to FILE ('-' for stdout); latency objects use the stats.Summary encoding shared with umprof/umsim")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	parallel := flag.Int("parallel", 0, "sweep workers (<=0: all cores); results are identical for any value")
-	figures := flag.String("figures", "all", "comma-separated figure list (1..9, e2e, 15, 18, 19, 20, 68, power, lb)")
+	shardWorkers := flag.Int("shard-workers", 0, "PDES shard workers per coupled fleet (0/1: sequential, -1: single-engine reference); results are identical for any value")
+	figures := flag.String("figures", "all", "comma-separated figure list (1..9, e2e, 15, 18, 19, 20, 68, power, lb, scale)")
 	serve := flag.String("serve", "", "serve live /metrics, /healthz, /progress (sweep cells done + ETA) and pprof on this address during the regeneration (e.g. :9090)")
 	cacheDir := flag.String("cache", "", "content-addressed sweep-cell cache directory (created if missing); re-runs skip cells already simulated with identical inputs")
 	cacheVerify := flag.Bool("cache-verify", false, "recompute cached cells and fail if any recomputation does not reproduce the cached bytes (requires -cache)")
@@ -85,13 +88,14 @@ func main() {
 	o := umanycore.DefaultExperimentOptions()
 	o.Seed = *seed
 	o.Parallel = *parallel
+	o.ShardWorkers = *shardWorkers
 	if *quick {
 		o = o.Quick()
 	}
 
 	want := map[string]bool{}
 	if *figures == "all" {
-		for _, f := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "e2e", "15", "18", "19", "20", "68", "power", "lb"} {
+		for _, f := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "e2e", "15", "18", "19", "20", "68", "power", "lb", "scale"} {
 			want[f] = true
 		}
 	} else {
@@ -121,6 +125,7 @@ func main() {
 		{"68", func() { sec68(o) }},
 		{"power", func() { powerTable() }},
 		{"lb", func() { fleetLB(o) }},
+		{"scale", func() { fleetScale(o) }},
 	}
 	workers := sweep.Workers(o.Parallel)
 	var totalWall, totalBusy time.Duration
@@ -402,6 +407,23 @@ func fleetLB(o umanycore.ExperimentOptions) {
 	for _, r := range rows {
 		fmt.Printf("%-7s %10.0f %10.1f %10.1f %10.2f %10d %10d\n",
 			r.Policy, r.PerServerRPS, r.MeanMicros, r.P99Micros, r.TailToAvg, r.Rejected, r.RemoteServed)
+	}
+	if jsonOut != "" {
+		if err := writeRowsJSON(jsonOut, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "umbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func fleetScale(o umanycore.ExperimentOptions) {
+	rows := umanycore.FleetScale(o)
+	header("Fleet-scale study: coupled uManycore fleets, one 3x straggler per 4 servers, P99 [us]")
+	fmt.Printf("%-7s %8s %12s %10s %10s %10s %10s %12s\n",
+		"policy", "servers", "total rps", "mean", "p99", "tail/avg", "rejected", "events")
+	for _, r := range rows {
+		fmt.Printf("%-7s %8d %12.0f %10.1f %10.1f %10.2f %10d %12d\n",
+			r.Policy, r.Servers, r.TotalRPS, r.MeanMicros, r.P99Micros, r.TailToAvg, r.Rejected, r.EventsProcessed)
 	}
 	if jsonOut != "" {
 		if err := writeRowsJSON(jsonOut, rows); err != nil {

@@ -43,6 +43,7 @@ func main() {
 	servers := flag.Int("servers", 0, "run a coupled fleet of N servers (0 = single machine); traces merge across servers")
 	lb := flag.String("lb", "", "fleet load-balancer policy: rr | rand | least | p2c (default rr; needs -servers)")
 	skew := flag.String("skew", "", "comma-separated per-server slowdown factors, e.g. 1,1,2 (needs -servers)")
+	shardWorkers := flag.Int("shard-workers", 0, "PDES shard workers for the coupled fleet (0/1: sequential, -1: single-engine reference); results are identical for any value (needs -servers)")
 	top := flag.Float64("top", 1, "tail fraction to analyze, in percent (1 = slowest 1%)")
 	traceOut := flag.String("trace", "", "also write a Chrome/Perfetto trace-event JSON to FILE")
 	spansOut := flag.String("spans", "", "also write every span as CSV to FILE")
@@ -99,6 +100,7 @@ func main() {
 		fc := umanycore.DefaultFleet(cfg)
 		fc.Servers = *servers
 		fc.LB = *lb
+		fc.ShardWorkers = *shardWorkers
 		if _, err := fleet.ParseLB(*lb); err != nil {
 			fatal(err)
 		}

@@ -65,7 +65,7 @@ func TestFleetP2CJSONGolden(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr)
 	}
-	want := `{"machine":"uManycore x2 servers (p2c)","app":"Text","rps":8000,"latency":{"n":219,"mean":676.2036501598172,"p50":660.224211,"p99":995.893734,"max":1195.53049},"tail":{"top_frac":0.01,"traced":219,"analyzed":3,"cutoff_us":995.894,"traced_p99_us":995.894,"by_stage_us":{"ingress":3.600,"sched":0.216,"ctxswitch":2.304,"service":2555.535,"storage":561.960,"net":76.248},"residual_ps":0}}` + "\n"
+	want := `{"machine":"uManycore x2 servers (p2c)","app":"Text","rps":8000,"latency":{"n":219,"mean":683.8382373835612,"p50":672.051632,"p99":1041.98432,"max":1139.72855},"tail":{"top_frac":0.01,"traced":219,"analyzed":3,"cutoff_us":1041.984,"traced_p99_us":1041.984,"by_stage_us":{"ingress":3.600,"sched":0.192,"ctxswitch":2.048,"service":2518.921,"storage":639.981,"net":63.540},"residual_ps":0}}` + "\n"
 	if stdout != want {
 		t.Fatalf("fleet json output drifted:\ngot:  %swant: %s", stdout, want)
 	}

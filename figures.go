@@ -46,6 +46,9 @@ type (
 	// FleetLBRow is one (policy, load) point of the coupled-fleet
 	// load-balancer study.
 	FleetLBRow = experiments.FleetLBRow
+	// FleetScaleRow is one (policy, fleet size) point of the coupled-fleet
+	// scale study.
+	FleetScaleRow = experiments.FleetScaleRow
 )
 
 // Fig1 regenerates Figure 1: four published microarchitectural
@@ -126,3 +129,8 @@ func Sec68(o ExperimentOptions) Sec68Result { return experiments.Sec68(o) }
 // random, least-outstanding, power-of-two-choices) on a coupled fleet with
 // one 3×-slower straggler: P99 vs offered load per policy.
 func FleetLB(o ExperimentOptions) []FleetLBRow { return experiments.FleetLB(o) }
+
+// FleetScale sweeps the coupled fleet across o.FleetSizes (one 3× straggler
+// per four servers, per-server load held fixed) for every balancer policy:
+// the tail-at-scale figure, each cell one sharded PDES simulation.
+func FleetScale(o ExperimentOptions) []FleetScaleRow { return experiments.FleetScale(o) }

@@ -109,7 +109,8 @@ func runBattery(t *testing.T, name string, fig func(o Options) any) {
 // TestCacheBatteryDrivers runs the cold==warm==verify battery over one
 // driver of each cached shape: the full-result Map2 grid (EndToEnd), the
 // scalar-projection grid (Fig6), the job-slice path (Fig20), the non-sim
-// cell codec (Fig9) and the coupled-fleet codec (FleetLB).
+// cell codec (Fig9) and the coupled-fleet codec (FleetLB, plus the sharded
+// FleetScale cells that reuse it).
 func TestCacheBatteryDrivers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy")
@@ -123,6 +124,7 @@ func TestCacheBatteryDrivers(t *testing.T) {
 		{"Fig20", func(o Options) any { return Fig20(o) }},
 		{"Fig9", func(o Options) any { return Fig9(o) }},
 		{"FleetLB", func(o Options) any { return FleetLB(o) }},
+		{"FleetScale", func(o Options) any { o.FleetSizes = []int{2, 4}; return FleetScale(o) }},
 	}
 	for _, f := range figs {
 		f := f

@@ -34,17 +34,25 @@ type Options struct {
 	// simulations; <= 0 means all cores. Results are bit-identical for any
 	// value (see internal/sweep's determinism contract).
 	Parallel int
+	// FleetSizes are the fleet sizes the FleetScale study sweeps.
+	FleetSizes []int
+	// ShardWorkers is forwarded to fleet.Config.ShardWorkers: how many
+	// per-server engines advance concurrently inside each coupled fleet
+	// simulation. Like Parallel it is a worker count — results and cache
+	// keys are identical for any value.
+	ShardWorkers int
 }
 
 // DefaultOptions returns full-fidelity settings.
 func DefaultOptions() Options {
 	return Options{
-		Seed:     42,
-		Duration: 400 * sim.Millisecond,
-		Warmup:   80 * sim.Millisecond,
-		Drain:    1600 * sim.Millisecond,
-		Loads:    []float64{5000, 10000, 15000},
-		Apps:     workload.SocialNetworkApps(),
+		Seed:       42,
+		Duration:   400 * sim.Millisecond,
+		Warmup:     80 * sim.Millisecond,
+		Drain:      1600 * sim.Millisecond,
+		Loads:      []float64{5000, 10000, 15000},
+		Apps:       workload.SocialNetworkApps(),
+		FleetSizes: []int{4, 16, 64, 256},
 	}
 }
 
@@ -53,6 +61,9 @@ func (o Options) Quick() Options {
 	o.Duration = 150 * sim.Millisecond
 	o.Warmup = 30 * sim.Millisecond
 	o.Drain = 600 * sim.Millisecond
+	// The 256-server point is a multi-minute cell; the scaling trend is
+	// already visible at 64.
+	o.FleetSizes = []int{4, 16, 64}
 	return o
 }
 
@@ -75,6 +86,9 @@ func (o Options) normalized() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = d.Seed
+	}
+	if len(o.FleetSizes) == 0 {
+		o.FleetSizes = d.FleetSizes
 	}
 	return o
 }

@@ -63,6 +63,7 @@ func FleetLB(o Options) []FleetLBRow {
 	mkCell := func(policy string, perServer float64) cell {
 		fc := fleetLBConfig()
 		fc.LB = policy
+		fc.ShardWorkers = o.ShardWorkers
 		// Policies at one load share a seed: the comparison is paired
 		// over identical arrival processes.
 		return cell{
@@ -78,10 +79,11 @@ func FleetLB(o Options) []FleetLBRow {
 			if rc.Obs != nil || rc.Telemetry != nil || c.fc.NewBalancer != nil {
 				return nil
 			}
-			// Parallel is a worker count, never an input: RunIndependent's
-			// fan-out width doesn't change results, so it must not split
-			// cache entries either.
+			// Parallel and ShardWorkers are worker counts, never inputs:
+			// neither fan-out width changes results, so neither may split
+			// cache entries.
 			c.fc.Parallel = 0
+			c.fc.ShardWorkers = 0
 			return sweepcache.NewKey("fleet/result").
 				Any("fc", c.fc).Any("app", app).Float("total_rps", c.total).
 				Any("rc", rc).Int("seed", c.seed).Preimage()

@@ -32,11 +32,19 @@ func TestFleetLBPoliciesSeparate(t *testing.T) {
 	if len(byPolicy) != 4 {
 		t.Fatalf("policies = %v", len(byPolicy))
 	}
-	for load, rnd := range byPolicy["rand"] {
-		p2c := byPolicy["p2c"][load]
-		if p2c.P99Micros > rnd.P99Micros {
-			t.Errorf("load %v: p2c P99 %.1fus > uniform-random %.1fus",
-				load, p2c.P99Micros, rnd.P99Micros)
+	// Queue-aware policies route on window-delayed views now (the balancer
+	// sees peer queue depths one inter-server wire delay stale), so this
+	// doubles as the staleness guard: both p2c and least must still beat
+	// both oblivious policies at every load.
+	for load := range byPolicy["rand"] {
+		for _, aware := range []string{"p2c", "least"} {
+			for _, oblivious := range []string{"rr", "rand"} {
+				a, o := byPolicy[aware][load], byPolicy[oblivious][load]
+				if a.P99Micros > o.P99Micros {
+					t.Errorf("load %v: %s P99 %.1fus > %s %.1fus despite stale-view routing",
+						load, aware, a.P99Micros, oblivious, o.P99Micros)
+				}
+			}
 		}
 	}
 }

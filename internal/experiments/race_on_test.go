@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether this test binary was built with -race, so
+// tests whose cost (not concurrency) is the point can skip the ~20x
+// race-detector slowdown. Concurrency coverage does not depend on them:
+// every parallel path has a small racing test that stays enabled.
+const raceEnabled = true

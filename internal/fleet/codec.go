@@ -42,7 +42,11 @@ func EncodeResult(r *Result) ([]byte, error) {
 		Str("balancer", r.Balancer).
 		Int("remote_served", int64(r.RemoteServed)).
 		Float("mean_utilization", r.MeanUtilization).
+		Int("events_processed", int64(r.EventsProcessed)).
 		RawArr("per_server", perServer)
+	// WallSeconds is deliberately absent: it is the one non-deterministic
+	// Result field, and the cache payload must be a pure function of the
+	// simulation inputs.
 	return o.Bytes(), nil
 }
 
@@ -60,6 +64,7 @@ type fleetResultJSON struct {
 	Balancer        string            `json:"balancer"`
 	RemoteServed    uint64            `json:"remote_served"`
 	MeanUtilization float64           `json:"mean_utilization"`
+	EventsProcessed uint64            `json:"events_processed"`
 	PerServer       []json.RawMessage `json:"per_server"`
 }
 
@@ -82,6 +87,7 @@ func DecodeResult(b []byte) (*Result, error) {
 		Balancer:        m.Balancer,
 		RemoteServed:    m.RemoteServed,
 		MeanUtilization: m.MeanUtilization,
+		EventsProcessed: m.EventsProcessed,
 	}
 	if m.PerServer != nil {
 		r.PerServer = make([]*machine.Result, len(m.PerServer))

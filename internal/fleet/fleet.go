@@ -3,17 +3,28 @@
 // crossing servers over the inter-server network (Table 2: 1μs round trip,
 // 200GB/s).
 //
-// Run couples the whole fleet inside one simulation engine: a fleet-level
-// dispatcher routes each arriving request to a server through a pluggable
-// Balancer policy (round-robin, uniform-random, least-outstanding,
-// power-of-two-choices), and a child RPC that draws the cross-server
-// lottery actually lands on a peer server's run queue — it competes for the
-// peer's cores and queues, pays the inter-server RTT both ways, and its
-// response resumes the parent on the originating server. Per-server
-// Slowdown factors model stragglers and heterogeneous fleets. Because every
-// server shares one single-threaded event loop, results are bit-identical
-// across repetitions and across sweep worker counts, and a one-server fleet
-// reproduces a plain machine.Run exactly.
+// Run couples the whole fleet: a fleet-level dispatcher routes each
+// arriving request to a server through a pluggable Balancer policy
+// (round-robin, uniform-random, least-outstanding, power-of-two-choices),
+// and a child RPC that draws the cross-server lottery actually lands on a
+// peer server's run queue — it competes for the peer's cores and queues,
+// pays the inter-server RTT both ways, and its response resumes the parent
+// on the originating server. Per-server Slowdown factors model stragglers
+// and heterogeneous fleets.
+//
+// Multi-server fleets execute as a conservative-lookahead parallel
+// discrete-event simulation (internal/pdes): the dispatcher and every
+// server are shards with private engines, synchronized in time windows
+// bounded by half the inter-server RTT — the minimum latency of any
+// cross-server interaction. Cross-server RPCs and dispatches travel as
+// timestamped inter-shard messages delivered at window barriers, and the
+// balancer routes on queue views snapshotted at barriers (at most one wire
+// delay stale — exactly what a physical front-end would know). Shards can
+// advance concurrently on Config.ShardWorkers workers; results are
+// bit-identical for every worker count, for repeat runs, and to the
+// single-engine reference execution (ShardWorkers = -1). A one-server
+// fleet degenerates to one engine and reproduces a plain machine.Run
+// exactly.
 //
 // RunIndependent keeps the older symmetric-server fast path: each server
 // simulates alone with its share of the load and cross-server RPCs
@@ -25,6 +36,8 @@
 package fleet
 
 import (
+	"time"
+
 	"umanycore/internal/machine"
 	"umanycore/internal/obs"
 	"umanycore/internal/sim"
@@ -62,9 +75,16 @@ type Config struct {
 	Slowdown []float64
 	// Parallel caps the worker count for RunIndependent's per-server
 	// fan-out (0 = one worker per CPU); results are identical for any
-	// value. The coupled Run is one event loop and ignores it — parallelism
-	// over coupled fleets belongs at the sweep level (cells, replicates).
+	// value. The coupled Run ignores it — see ShardWorkers.
 	Parallel int
+	// ShardWorkers is the coupled Run's shard worker count: how many
+	// per-server engines advance concurrently inside each conservative
+	// time window. 0 and 1 run the windows sequentially; -1 selects the
+	// single-engine reference execution (every shard on one shared engine,
+	// same window/mailbox semantics — the validation and debugging mode).
+	// Results are bit-identical for every value; like Parallel, it is a
+	// worker count, never a simulation input.
+	ShardWorkers int
 }
 
 // DefaultConfig returns the paper's 10-server fleet around the given
@@ -136,16 +156,37 @@ type Result struct {
 	// Telemetry merges the per-server telemetry runs (in server order) when
 	// the RunConfig enabled the sampler; nil otherwise.
 	Telemetry *telemetry.Run
+	// EventsProcessed counts simulation events fired across every engine in
+	// the run (dispatcher included for coupled multi-server fleets). It is
+	// deterministic; EventsProcessed/WallSeconds is the events-per-second
+	// figure the PDES speedup curves report.
+	EventsProcessed uint64
+	// WallSeconds is the run's wall-clock cost. It lives in the
+	// non-deterministic domain: equality checks and the cache codec ignore
+	// it (decoded results carry zero).
+	WallSeconds float64
 }
 
-// Run drives the coupled fleet at totalRPS: every server lives in one
-// simulation engine, a Balancer routes each arrival, and cross-server child
-// RPCs execute on the peer they target. Deterministic in (fc, app,
-// totalRPS, rc, seed) alone — worker counts and wall-clock never enter.
+// Run drives the coupled fleet at totalRPS: every server lives in its own
+// simulation engine (sharded conservatively in time — see the package
+// comment), a Balancer routes each arrival, and cross-server child RPCs
+// execute on the peer they target. Deterministic in (fc, app, totalRPS, rc,
+// seed) alone — worker counts and wall-clock never enter.
 func Run(fc Config, app *workload.App, totalRPS float64, rc machine.RunConfig, seed int64) *Result {
 	if fc.Servers <= 0 {
 		panic("fleet: need at least one server")
 	}
+	if fc.Servers == 1 {
+		return runOneServer(fc, app, totalRPS, rc, seed)
+	}
+	return runCoupled(fc, app, totalRPS, rc, seed)
+}
+
+// runOneServer is the one-server fleet: a single engine, no peers, no
+// sharding. It mirrors machine.Run's setup sequence exactly so the result
+// reproduces a plain run bit-for-bit.
+func runOneServer(fc Config, app *workload.App, totalRPS float64, rc machine.RunConfig, seed int64) *Result {
+	start := time.Now()
 	cross := fc.crossFrac()
 	rc = rc.Normalized()
 	rc.App = app
@@ -198,25 +239,6 @@ func Run(fc Config, app *workload.App, totalRPS float64, rc machine.RunConfig, s
 			m.EnableTelemetry(tele)
 		}
 		machines[s], cols[s], regs[s], teles[s] = m, col, reg, tele
-	}
-
-	// Couple the servers: a child RPC that draws the cross-server lottery
-	// departs its server, crosses the inter-server wire, and enqueues on a
-	// uniformly random peer; the response retraces the path. Peer choice
-	// draws from a dedicated stream so it never perturbs the servers' own
-	// randomness.
-	if fc.Servers > 1 && cross > 0 {
-		peerRng := eng.Rand("fleet-peer")
-		for s := range machines {
-			src := s
-			machines[src].SetRemoteSender(func(svcID int, depart sim.Time, respond func(done sim.Time)) {
-				p := peerRng.Intn(fc.Servers - 1)
-				if p >= src {
-					p++
-				}
-				eng.At(depart, func() { machines[p].SubmitRemote(svcID, respond) })
-			})
-		}
 	}
 
 	// Fleet-level dispatcher: one open-loop arrival process at the total
@@ -273,6 +295,8 @@ func Run(fc Config, app *workload.App, totalRPS float64, rc machine.RunConfig, s
 	for _, m := range machines {
 		out.RemoteServed += m.RemoteServed
 	}
+	out.EventsProcessed = eng.Fired()
+	out.WallSeconds = time.Since(start).Seconds()
 	return out
 }
 
@@ -286,6 +310,7 @@ func RunIndependent(fc Config, app *workload.App, totalRPS float64, rc machine.R
 	if fc.Servers <= 0 {
 		panic("fleet: need at least one server")
 	}
+	start := time.Now()
 	cross := fc.crossFrac()
 	// Servers are independent simulations with per-server derived seeds;
 	// fan them out and merge in server order, so the fleet result is
@@ -301,7 +326,12 @@ func RunIndependent(fc Config, app *workload.App, totalRPS float64, rc machine.R
 		srun.Seed = sim.DeriveSeed(seed, int64(s))
 		return machine.Run(fc.serverConfig(s, cross), srun)
 	})
-	return aggregate(fc, app, totalRPS, rc, perServer)
+	out := aggregate(fc, app, totalRPS, rc, perServer)
+	for _, res := range perServer {
+		out.EventsProcessed += res.Events
+	}
+	out.WallSeconds = time.Since(start).Seconds()
+	return out
 }
 
 // aggregate merges per-server results (in server order) into one fleet

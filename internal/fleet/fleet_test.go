@@ -23,6 +23,14 @@ func homeT(t *testing.T) *workload.App {
 	return nil
 }
 
+// stripWall zeroes the one intentionally non-deterministic Result field so
+// determinism tests can DeepEqual whole results.
+func stripWall(rs ...*Result) {
+	for _, r := range rs {
+		r.WallSeconds = 0
+	}
+}
+
 func TestDefaultConfig(t *testing.T) {
 	fc := DefaultConfig(machine.UManycoreConfig())
 	if fc.Servers != 10 || fc.InterServerRTT != sim.Microsecond {
@@ -136,18 +144,88 @@ func TestCoupledFleetDeterministic(t *testing.T) {
 
 	a := Run(fc, app, 20000, rc, 11)
 	b := Run(fc, app, 20000, rc, 11)
+	stripWall(a, b)
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("repeat coupled runs differ")
 	}
 
 	reps := []int64{11, 12, 13, 14}
 	runReps := func(workers int) []*Result {
-		return sweep.Map(workers, reps, func(_ int, seed int64) *Result {
+		rs := sweep.Map(workers, reps, func(_ int, seed int64) *Result {
 			return Run(fc, app, 20000, rc, seed)
 		})
+		stripWall(rs...)
+		return rs
 	}
 	if !reflect.DeepEqual(runReps(1), runReps(4)) {
 		t.Fatal("coupled fleet results depend on sweep worker count")
+	}
+}
+
+// TestShardWorkerInvariance pins the PDES half of the determinism contract:
+// the coupled fleet's result — observability layers included — is identical
+// whether the per-server shards advance sequentially or on a concurrent
+// worker pool, for any worker count.
+func TestShardWorkerInvariance(t *testing.T) {
+	app := homeT(t)
+	rc := machine.RunConfig{
+		Duration:  40 * sim.Millisecond,
+		Warmup:    8 * sim.Millisecond,
+		Drain:     500 * sim.Millisecond,
+		Obs:       &obs.Options{Trace: true, Metrics: true},
+		Telemetry: &telemetry.Options{},
+	}
+	fc := DefaultConfig(machine.UManycoreConfig())
+	fc.Servers = 8
+	fc.LB = "least"
+
+	run := func(workers int) *Result {
+		c := fc
+		c.ShardWorkers = workers
+		r := Run(c, app, 48000, rc, 21)
+		stripWall(r)
+		return r
+	}
+	want := run(1)
+	if want.RemoteServed == 0 {
+		t.Fatal("no cross-server traffic; worker-invariance test is vacuous")
+	}
+	for _, w := range []int{0, 2, 4, 16} {
+		if got := run(w); !reflect.DeepEqual(want, got) {
+			t.Fatalf("ShardWorkers=%d diverged from sequential execution", w)
+		}
+	}
+}
+
+// TestShardedMatchesSingleEngineReference is the cross-mode half: for small
+// fleets, the sharded execution must be byte-identical (via the cache
+// codec's canonical encoding) to the single-engine reference execution,
+// which runs every shard's events interleaved on one shared engine under
+// the same window/mailbox semantics.
+func TestShardedMatchesSingleEngineReference(t *testing.T) {
+	app := homeT(t)
+	rc := machine.RunConfig{Duration: 40 * sim.Millisecond, Warmup: 8 * sim.Millisecond, Drain: 500 * sim.Millisecond}
+	for _, servers := range []int{2, 3, 5, 8} {
+		fc := DefaultConfig(machine.UManycoreConfig())
+		fc.Servers = servers
+		fc.LB = "p2c"
+		fc.Slowdown = []float64{1, 2}
+
+		run := func(workers int) []byte {
+			c := fc
+			c.ShardWorkers = workers
+			r := Run(c, app, float64(6000*servers), rc, 31)
+			b, err := EncodeResult(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		}
+		ref := run(-1)
+		got := run(4)
+		if string(ref) != string(got) {
+			t.Fatalf("servers=%d: sharded run diverged from single-engine reference:\nref %s\ngot %s", servers, ref, got)
+		}
 	}
 }
 
@@ -190,6 +268,7 @@ func TestRunIndependentAggregates(t *testing.T) {
 	seq := RunIndependent(fc, app, 9000, rc, 1)
 	fc.Parallel = 4
 	par := RunIndependent(fc, app, 9000, rc, 1)
+	stripWall(seq, par)
 	if !reflect.DeepEqual(seq, par) {
 		t.Fatal("RunIndependent depends on worker count")
 	}

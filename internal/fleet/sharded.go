@@ -1,0 +1,232 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"umanycore/internal/machine"
+	"umanycore/internal/obs"
+	"umanycore/internal/pdes"
+	"umanycore/internal/sim"
+	"umanycore/internal/telemetry"
+	"umanycore/internal/workload"
+)
+
+// runCoupled is the multi-server coupled fleet on the conservative-lookahead
+// PDES fabric (internal/pdes).
+//
+// Shard layout: shard 0 is the front-end dispatcher — the arrival process
+// and the balancer live there — and shard s+1 is server s. The lookahead is
+// half the inter-server RTT, the one-way wire time, which bounds every
+// cross-shard interaction:
+//
+//   - a dispatched root pays the front-end→server hop (one wire delay),
+//   - a cross-server child RPC departs at out + RTT/2 (sendChildRemote has
+//     already paid the outbound half when it hands the fleet the request),
+//   - its response ships back at done + RTT/2.
+//
+// So every message is timestamped at least one lookahead after its sender's
+// clock, and the fabric's window invariant — no shard ever receives an
+// event in its past — holds without any special-casing.
+//
+// Determinism contract: the result is bit-identical for every ShardWorkers
+// value, including the -1 single-engine reference, because (a) each server
+// draws all its randomness from a sim.Streams bundle seeded by server index
+// (never from its hosting engine), (b) the dispatcher's arrival and
+// balancer streams come from the shard-0 engine, which is seeded with the
+// run seed exactly like the reference's shared engine, and (c) inter-shard
+// messages are delivered in the canonical (time, source shard, send seq)
+// order in every mode. The balancer's queue views are snapshotted at window
+// barriers, so routing decisions see peer state at most one wire delay
+// stale — the same information lag a physical front-end has.
+func runCoupled(fc Config, app *workload.App, totalRPS float64, rc machine.RunConfig, seed int64) *Result {
+	start := time.Now()
+	n := fc.Servers
+	cross := fc.crossFrac()
+	rc = rc.Normalized()
+	rc.App = app
+	rc.RPS = totalRPS / float64(n)
+	rc.Seed = seed
+	horizon := rc.Duration + rc.Drain
+
+	// Lookahead = one wire direction. The fabric needs it strictly positive:
+	// a fleet with a zero RTT has no minimum cross-server latency to exploit.
+	lookahead := fc.InterServerRTT / 2
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("fleet: coupled multi-server fleets need InterServerRTT >= 2ps (got %v); it is the PDES lookahead", fc.InterServerRTT))
+	}
+
+	// Shard 0 (dispatcher) runs on an engine seeded with the run seed, so
+	// its "arrivals" and "fleet-lb" streams match the single-engine
+	// reference's byte for byte. Server shards get derived seeds — only
+	// their event heaps care; server randomness comes from Streams bundles.
+	var net pdes.Net
+	dispEng := sim.NewEngine(seed)
+	engs := make([]*sim.Engine, n)
+	distinct := []*sim.Engine{dispEng}
+	if fc.ShardWorkers < 0 {
+		net = pdes.NewSingleEngine(lookahead, dispEng, n+1)
+		for s := range engs {
+			engs[s] = dispEng
+		}
+	} else {
+		f := pdes.NewFabric(lookahead, fc.ShardWorkers)
+		f.AddShard(dispEng)
+		for s := range engs {
+			engs[s] = sim.NewEngine(sim.DeriveSeed(seed, int64(s)))
+			f.AddShard(engs[s])
+			distinct = append(distinct, engs[s])
+		}
+		net = f
+	}
+
+	// Build the servers. Setup mirrors machine.Run — machine, measurement
+	// window, observability, telemetry — except that every machine gets a
+	// seed-derived stream bundle (engine-independent randomness) and the
+	// engine-level vitals are skipped: which engine hosts which events is an
+	// execution detail here, not simulation content, and recording it would
+	// make the sharded and reference runs observably different.
+	machines := make([]*machine.Machine, n)
+	rngs := make([]*sim.Streams, n)
+	cols := make([]*obs.Collector, n)
+	regs := make([]*obs.Registry, n)
+	teles := make([]*telemetry.Sampler, n)
+	for s := range machines {
+		mcfg := fc.serverConfig(s, cross)
+		var m *machine.Machine
+		if len(rc.Mix) > 0 {
+			m = machine.NewMix(engs[s], mcfg, app.Catalog, rc.Mix)
+		} else {
+			m = machine.New(engs[s], mcfg, app)
+		}
+		rngs[s] = sim.NewStreams(sim.DeriveSeed(seed, int64(s)))
+		m.SetRNG(rngs[s])
+		m.SetMeasureFrom(rc.Warmup)
+
+		var col *obs.Collector
+		var reg *obs.Registry
+		if rc.Obs != nil {
+			if rc.Obs.Trace {
+				col = obs.NewCollector()
+			}
+			if rc.Obs.Metrics {
+				reg = obs.NewRegistry()
+			}
+		}
+		var tele *telemetry.Sampler
+		if rc.Telemetry != nil {
+			if reg == nil {
+				reg = obs.NewRegistry()
+			}
+			topt := *rc.Telemetry
+			topt.NoEngineVitals = true
+			tele = telemetry.Start(engs[s], reg, horizon, topt)
+		}
+		if col != nil || reg != nil {
+			m.EnableObs(col, reg)
+			m.EnableTelemetry(tele)
+		}
+		machines[s], cols[s], regs[s], teles[s] = m, col, reg, tele
+	}
+
+	// Couple the servers: a child RPC that draws the cross-server lottery
+	// ships to a uniformly random peer as an inter-shard message timestamped
+	// when it has crossed the wire; the peer's response retraces the path.
+	// Peer choice draws from the source server's own bundle, so it is
+	// engine-independent like everything else the server randomizes.
+	if cross > 0 {
+		for s := range machines {
+			src := s
+			peerRng := rngs[src].Rand("fleet-peer")
+			machines[src].SetRemoteSender(func(svcID int, depart sim.Time, respond func(done sim.Time)) {
+				p := peerRng.Intn(n - 1)
+				if p >= src {
+					p++
+				}
+				peer := machines[p]
+				net.Send(src+1, p+1, depart, func() {
+					peer.SubmitRemote(svcID, func(done sim.Time) {
+						// respond computes the return-path timing from done
+						// alone, so running it one wire delay later on the
+						// origin shard reproduces the reference exactly.
+						net.Send(p+1, src+1, done+lookahead, func() { respond(done) })
+					})
+				})
+			})
+		}
+	}
+
+	// Front-end dispatcher (shard 0): one open-loop arrival process at the
+	// total rate; each arrival is routed by the balancer and ships to its
+	// server one wire delay later. The balancer's view of server queues is
+	// exact for what the dispatcher itself routed and barrier-snapshotted
+	// for what the servers have answered — i.e. at most one window stale.
+	bal := fc.balancer()
+	lbRng := dispEng.Rand("fleet-lb")
+	routed := make([]int, n)
+	responded := make([]uint64, n)
+	view := View{
+		Servers:     n,
+		Outstanding: func(s int) int { return routed[s] - int(responded[s]) },
+	}
+	gap := machine.ArrivalGap(dispEng, rc, totalRPS)
+	var schedule func()
+	schedule = func() {
+		if dispEng.Now() >= rc.Duration {
+			return
+		}
+		s := bal.Pick(lbRng, view)
+		routed[s]++
+		target := machines[s]
+		net.Send(0, s+1, dispEng.Now()+lookahead, target.SubmitRoot)
+		dispEng.After(gap(), schedule)
+	}
+	dispEng.At(gap(), schedule)
+
+	// Run to horizon; at every window barrier, refresh the dispatcher's
+	// snapshot of how many roots each server has answered. The post hook
+	// runs with no shard executing, so reading machine state is safe.
+	net.Run(horizon, func(sim.Time) {
+		for s, m := range machines {
+			responded[s] = m.RespondedRoots()
+		}
+	})
+
+	// Per-server results in server order, like the one-server path's tail.
+	perServer := make([]*machine.Result, n)
+	for s, m := range machines {
+		res := machine.BuildResult(m, engs[s], rc)
+		// A server's share of fired events depends on which engine hosted it
+		// (private shard vs. reference's shared engine) — an execution
+		// detail, not simulation content. The fleet-level EventsProcessed
+		// carries the total; the per-server field stays zero.
+		res.Events = 0
+		if regs[s] != nil {
+			m.FinishMachineMetrics(rc.Duration)
+		}
+		if rc.Obs != nil {
+			res.Obs = &obs.Run{}
+			if cols[s] != nil {
+				res.Obs.Spans = cols[s].Spans()
+			}
+			if regs[s] != nil {
+				res.Obs.Metrics = regs[s].Snapshot(engs[s].Now())
+			}
+		}
+		if teles[s] != nil {
+			res.Telemetry = teles[s].Finish(engs[s].Now())
+		}
+		perServer[s] = res
+	}
+
+	out := aggregate(fc, app, totalRPS, rc, perServer)
+	out.Balancer = bal.Name()
+	for _, m := range machines {
+		out.RemoteServed += m.RemoteServed
+	}
+	for _, e := range distinct {
+		out.EventsProcessed += e.Fired()
+	}
+	out.WallSeconds = time.Since(start).Seconds()
+	return out
+}

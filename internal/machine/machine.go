@@ -64,7 +64,29 @@ type Machine struct {
 	// through it instead of paying a probabilistic latency add locally.
 	remoteSend RemoteSender
 
+	// rng, when non-nil, replaces the engine's named streams as the source
+	// of this machine's randomness. A sharded fleet gives every server its
+	// own bundle (seeded from the server index), so the server draws the
+	// same sequences whether it runs on a private engine or interleaved
+	// with peers on a shared one — the property the PDES byte-identity
+	// contract rests on. Nil (the default) keeps the engine streams, so a
+	// plain machine.Run is unchanged.
+	rng *sim.Streams
+
 	invSeq uint64
+}
+
+// SetRNG scopes this machine's randomness to the given stream bundle
+// instead of its engine's streams. Call before submitting load.
+func (m *Machine) SetRNG(r *sim.Streams) { m.rng = r }
+
+// rand returns the machine's named random stream: the scoped bundle when
+// one is set, the engine's stream otherwise.
+func (m *Machine) rand(name string) *rand.Rand {
+	if m.rng != nil {
+		return m.rng.Rand(name)
+	}
+	return m.eng.Rand(name)
 }
 
 // RemoteSender ships one cross-server child RPC into the fleet: svcID is
@@ -367,7 +389,7 @@ func (m *Machine) pickInstance(svc int) *domain {
 		panic(fmt.Sprintf("machine: no instances for service %d", svc))
 	}
 	if m.cfg.Placement == RandomPlacement {
-		return doms[m.eng.Rand("route").Intn(len(doms))]
+		return doms[m.rand("route").Intn(len(doms))]
 	}
 	// Hardware round-robin dispatch via the ServiceMap (§4.2).
 	village, ok := m.svcmap.Dispatch(uint16(svc))
@@ -447,6 +469,14 @@ func (m *Machine) OutstandingRoots() int {
 	return int(m.Submitted - m.Completed - m.rejectedRoots)
 }
 
+// RespondedRoots reports the root requests this server has answered —
+// completions plus admission rejections. It is the quantity a front-end
+// eventually learns about a server: the sharded fleet's dispatcher
+// subtracts a barrier-time snapshot of it from its own sent counter to
+// form the (deliberately stale) outstanding view its balancer policies
+// route on.
+func (m *Machine) RespondedRoots() uint64 { return m.Completed + m.rejectedRoots }
+
 // QueueDepth reports the runnable invocations currently queued machine-wide
 // (hardware RQ ready entries, NIC overflow buffers, and software FIFOs) —
 // the instantaneous-queue-length signal for shortest-queue routing studies.
@@ -471,7 +501,7 @@ func (m *Machine) pickRoot() int {
 	for _, e := range m.mix {
 		total += e.Weight
 	}
-	x := m.eng.Rand("mix").Float64() * total
+	x := m.rand("mix").Float64() * total
 	for _, e := range m.mix {
 		x -= e.Weight
 		if x < 0 {
@@ -754,7 +784,7 @@ func (m *Machine) dispatch(c *core) {
 	if op.Kind != workload.OpCompute {
 		panic(fmt.Sprintf("machine: dispatch at non-compute op %v", op.Kind))
 	}
-	dur := sim.FromMicros(op.Time.Sample(m.eng.Rand("service")) / m.perfOf(c.dom))
+	dur := sim.FromMicros(op.Time.Sample(m.rand("service")) / m.perfOf(c.dom))
 	end := start + dur
 	if inv.span != 0 {
 		if popAt > inv.enqAt {
@@ -783,7 +813,7 @@ func (m *Machine) dispatch(c *core) {
 // injectCoherenceTraffic models directory/remote-cache messages under global
 // coherence: two 64B messages to the home directory's cluster.
 func (m *Machine) injectCoherenceTraffic(dom *domain) {
-	rng := m.eng.Rand("coherence")
+	rng := m.rand("coherence")
 	dst := rng.Intn(m.topo.NumEndpoints())
 	icn.Deliver(m.topo, m.eng.Now(), dom.endpoint, dst, 64, rng, m.cfg.ICNContention)
 	icn.Deliver(m.topo, m.eng.Now(), dst, dom.endpoint, 64, rng, m.cfg.ICNContention)
@@ -801,7 +831,7 @@ func (m *Machine) segmentEnd(c *core, inv *invocation) {
 	switch op.Kind {
 	case workload.OpCompute:
 		// Back-to-back compute (no blocking op between): keep running.
-		dur := sim.FromMicros(op.Time.Sample(m.eng.Rand("service")) / m.perfOf(c.dom))
+		dur := sim.FromMicros(op.Time.Sample(m.rand("service")) / m.perfOf(c.dom))
 		if inv.span != 0 {
 			now := m.eng.Now()
 			m.trace.AddOnCore(inv.span, obs.StageService, c.id, now, now+dur)
@@ -819,13 +849,13 @@ func (m *Machine) segmentEnd(c *core, inv *invocation) {
 			// retransmission, and congestion control; its delivery time
 			// already includes the base RTT.
 			nic := m.storageNIC[inv.dom.endpoint]
-			rng := m.eng.Rand("storage-loss")
+			rng := m.rand("storage-loss")
 			before := nic.Retransmit
 			delivered := nic.Send(saved, m.cfg.StorageReqBytes, rng.Float64)
 			retries = uint32(nic.Retransmit - before)
-			lat = delivered - saved + sim.FromMicros(op.Time.Sample(m.eng.Rand("storage")))
+			lat = delivered - saved + sim.FromMicros(op.Time.Sample(m.rand("storage")))
 		} else {
-			lat = m.cfg.StorageRTT + sim.FromMicros(op.Time.Sample(m.eng.Rand("storage")))
+			lat = m.cfg.StorageRTT + sim.FromMicros(op.Time.Sample(m.rand("storage")))
 		}
 		if m.cfg.IOViaICN {
 			// Storage messages cross the on-package ICN to the package I/O
@@ -909,7 +939,7 @@ func (m *Machine) release(c *core) {
 // traversal, then enqueue at the callee instance's domain. The message
 // departs no earlier than the parent's state save completed.
 func (m *Machine) sendChild(c *core, parent *invocation, svcID int, saved sim.Time) {
-	rng := m.eng.Rand("icn")
+	rng := m.rand("icn")
 	if m.remoteSend != nil && m.cfg.RemoteCallFrac > 0 && rng.Float64() < m.cfg.RemoteCallFrac {
 		m.sendChildRemote(c, parent, svcID, saved)
 		return
@@ -1010,7 +1040,7 @@ func (m *Machine) ioDeliverOut(dep sim.Time, from, size int) (sim.Time, int) {
 		}
 		return at, len(path)
 	}
-	return icn.Deliver(m.topo, dep, from, m.ioEndpoint(), size, m.eng.Rand("icn"), m.cfg.ICNContention)
+	return icn.Deliver(m.topo, dep, from, m.ioEndpoint(), size, m.rand("icn"), m.cfg.ICNContention)
 }
 
 // ioDeliverIn routes an inbound message from the package I/O attach point
@@ -1024,7 +1054,7 @@ func (m *Machine) ioDeliverIn(dep sim.Time, to, size int) (sim.Time, int) {
 		}
 		return at, len(path)
 	}
-	return icn.Deliver(m.topo, dep, m.ioEndpoint(), to, size, m.eng.Rand("icn"), m.cfg.ICNContention)
+	return icn.Deliver(m.topo, dep, m.ioEndpoint(), to, size, m.rand("icn"), m.cfg.ICNContention)
 }
 
 // srcEndpoint maps a sending core to its topology endpoint.
@@ -1097,7 +1127,7 @@ func (m *Machine) complete(c *core, inv *invocation) {
 // respond routes an invocation's result to its parent or, for roots, out of
 // the package, recording end-to-end latency.
 func (m *Machine) respond(inv *invocation) {
-	rng := m.eng.Rand("icn")
+	rng := m.rand("icn")
 	if inv.parent == nil {
 		now := m.eng.Now()
 		at := now + m.cfg.IngressLatency

@@ -276,6 +276,17 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 }
 
+// NextEventAt reports the timestamp of the earliest pending event, or false
+// when the queue is empty. It is the peek primitive conservative parallel
+// simulation needs: a synchronization layer bounds the next barrier by the
+// earliest thing any engine could possibly do.
+func (e *Engine) NextEventAt() (Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
 // Rand returns the named random stream, creating it deterministically from
 // the engine seed on first use. Distinct names yield independent streams;
 // the same name always yields the same stream.
@@ -295,6 +306,36 @@ func streamHash(name string) int64 {
 	h := fnv.New64a()
 	h.Write([]byte(name))
 	return int64(h.Sum64())
+}
+
+// Streams is an engine-independent bundle of named deterministic random
+// streams, derived from a seed exactly like Engine.Rand derives them from
+// the engine seed. A simulation entity that owns a Streams draws the same
+// sequences no matter which engine hosts its events — the property that
+// lets a sharded (one-engine-per-server) fleet and a single-engine
+// reference execution stay bit-identical.
+type Streams struct {
+	seed    int64
+	streams map[string]*rand.Rand
+}
+
+// NewStreams returns a stream bundle whose named streams all derive from
+// seed. NewStreams(s).Rand(name) draws the same sequence as
+// NewEngine(s).Rand(name).
+func NewStreams(seed int64) *Streams {
+	return &Streams{seed: seed, streams: make(map[string]*rand.Rand)}
+}
+
+// Rand returns the named stream, creating it deterministically from the
+// bundle seed on first use — the same (seed, name) derivation as
+// Engine.Rand.
+func (s *Streams) Rand(name string) *rand.Rand {
+	if r, ok := s.streams[name]; ok {
+		return r
+	}
+	r := rand.New(rand.NewSource(s.seed ^ streamHash(name)))
+	s.streams[name] = r
+	return r
 }
 
 // mix64 is the splitmix64 finalizer: a full-avalanche 64-bit bijection, so

@@ -490,3 +490,54 @@ func TestDeriveSeed(t *testing.T) {
 		t.Fatal("DeriveSeed acts as identity")
 	}
 }
+
+func TestNextEventAt(t *testing.T) {
+	e := NewEngine(1)
+	if _, ok := e.NextEventAt(); ok {
+		t.Fatal("empty engine reported a pending event")
+	}
+	e.At(30, func() {})
+	e.At(10, func() {})
+	e.At(20, func() {})
+	if at, ok := e.NextEventAt(); !ok || at != 10 {
+		t.Fatalf("NextEventAt = %v, %v; want 10, true", at, ok)
+	}
+	e.RunUntil(10)
+	if at, ok := e.NextEventAt(); !ok || at != 20 {
+		t.Fatalf("after RunUntil(10): NextEventAt = %v, %v; want 20, true", at, ok)
+	}
+	e.Run()
+	if _, ok := e.NextEventAt(); ok {
+		t.Fatal("drained engine reported a pending event")
+	}
+}
+
+// TestStreamsMatchEngineRand pins the property PDES sharding depends on: a
+// Streams bundle seeded s draws exactly what an engine seeded s would, for
+// every stream name, so moving an entity between engines cannot change its
+// randomness.
+func TestStreamsMatchEngineRand(t *testing.T) {
+	for _, seed := range []int64{0, 1, 42, -7, 1 << 40} {
+		e := NewEngine(seed)
+		s := NewStreams(seed)
+		for _, name := range []string{"service", "icn", "route", "arrivals", ""} {
+			er, sr := e.Rand(name), s.Rand(name)
+			for i := 0; i < 64; i++ {
+				if a, b := er.Int63(), sr.Int63(); a != b {
+					t.Fatalf("seed %d stream %q draw %d: engine %d != streams %d", seed, name, i, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestStreamsIndependentNames(t *testing.T) {
+	s := NewStreams(99)
+	a, b := s.Rand("a"), s.Rand("b")
+	if a == b {
+		t.Fatal("distinct names share a stream")
+	}
+	if s.Rand("a") != a {
+		t.Fatal("same name returned a different stream")
+	}
+}

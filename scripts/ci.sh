@@ -26,14 +26,17 @@ else
     echo "== go test =="
     go test ./...
     echo "== go test -race =="
-    go test -race ./...
+    # Single-digit-core CI hosts run the heavy packages close to the default
+    # 10m per-package budget under the race detector; give them headroom.
+    go test -race -timeout 30m ./...
 fi
 
 # The observability merge path, the sweep runner, the cell cache, the
-# streaming-telemetry layer, and the coupled fleet carry the repo's
-# determinism/race contracts; race-check them on every run, quick included.
-echo "== go test -race (obs + sweep + sweepcache + telemetry + fleet) =="
-go test -race -short ./internal/obs/... ./internal/sweep/... ./internal/sweepcache/... ./internal/telemetry/... ./internal/fleet/...
+# streaming-telemetry layer, the PDES fabric, and the coupled fleet carry
+# the repo's determinism/race contracts; race-check them on every run,
+# quick included.
+echo "== go test -race (obs + sweep + sweepcache + telemetry + pdes + fleet) =="
+go test -race -short ./internal/obs/... ./internal/sweep/... ./internal/sweepcache/... ./internal/telemetry/... ./internal/pdes/... ./internal/fleet/...
 
 # Cache gate: a cold run must fill the cache, a warm run must reuse it, a
 # verify run must recompute without a single byte of drift — and all three
@@ -49,6 +52,18 @@ go build -o "$cachedir/umbench" ./cmd/umbench
 cmp "$cachedir/cold.json" "$cachedir/warm.json"
 cmp "$cachedir/cold.json" "$cachedir/verify.json"
 echo "cache cold/warm/verify byte-identical"
+
+# Shard-worker gate: the coupled fleet must emit byte-identical JSON whether
+# its per-server engines advance on 1 shard worker or 4 — the end-to-end
+# version of the PDES determinism contract, through the real CLI.
+echo "== fleet 1-vs-4 shard workers =="
+go build -o "$cachedir/umprof" ./cmd/umprof
+"$cachedir/umprof" -app Text -rps 24000 -duration 40ms -warmup 10ms \
+    -servers 6 -lb p2c -skew 1,1,1,2,1,3 -shard-workers 1 -json >"$cachedir/shard1.json"
+"$cachedir/umprof" -app Text -rps 24000 -duration 40ms -warmup 10ms \
+    -servers 6 -lb p2c -skew 1,1,1,2,1,3 -shard-workers 4 -json >"$cachedir/shard4.json"
+cmp "$cachedir/shard1.json" "$cachedir/shard4.json"
+echo "shard workers 1 vs 4 byte-identical"
 
 echo "== bench smoke (allocation + sweep + telemetry benchmarks, 1 iteration) =="
 go test -run xxx -bench 'BenchmarkEngine|BenchmarkMachineRun' -benchtime 1x \
