@@ -49,6 +49,10 @@ func main() {
 	spansOut := flag.String("spans", "", "also write every span as CSV to FILE")
 	metricsOut := flag.String("metrics", "", "also write the metrics snapshot as CSV to FILE")
 	jsonOut := flag.Bool("json", false, "print the report as JSON instead of a table")
+	fabric := flag.Bool("fabric", false, "also report the PDES fabric's self-observability (needs -servers and 2+ servers)")
+	exemplarsOut := flag.String("exemplars", "", "write the K slowest stitched request trees as JSON to FILE (- = stdout)")
+	exemplarsTrace := flag.String("exemplars-trace", "", "write the exemplar trees as Chrome/Perfetto trace-event JSON to FILE")
+	exemplarsK := flag.Int("exemplars-k", 3, "how many tail exemplars to select")
 	sample := flag.Duration("sample", 0, "streaming-telemetry sampling interval (simulated; 0 = off unless -series set)")
 	seriesOut := flag.String("series", "", "write the telemetry time series as CSV to FILE (- = stdout)")
 	serve := flag.String("serve", "", "serve live /metrics, /healthz, /progress and pprof on this address during the run (e.g. :9090)")
@@ -96,6 +100,7 @@ func main() {
 	var trun *umanycore.TelemetryRun
 	var latency umanycore.Summary
 	var label string
+	var fres *fleet.Result
 	if *servers > 0 {
 		fc := umanycore.DefaultFleet(cfg)
 		fc.Servers = *servers
@@ -111,7 +116,7 @@ func main() {
 			}
 			fc.Slowdown = slow
 		}
-		fres := umanycore.RunFleet(fc, app, *rps, rc, *seed)
+		fres = umanycore.RunFleet(fc, app, *rps, rc, *seed)
 		orun, trun, latency = fres.Obs, fres.Telemetry, fres.Latency
 		label = fmt.Sprintf("%s x%d servers (%s)", fres.Machine, *servers, fres.Balancer)
 	} else {
@@ -125,17 +130,42 @@ func main() {
 
 	rep := umanycore.AnalyzeTail(orun.Spans, *top/100)
 
+	svcName := func(svc int16) string {
+		catalog := app.Catalog
+		if int(svc) >= 0 && int(svc) < len(catalog.Services) {
+			return catalog.Service(int(svc)).Name
+		}
+		return strconv.Itoa(int(svc))
+	}
 	if *traceOut != "" {
 		if err := writeFile(*traceOut, func(f *os.File) error {
-			catalog := app.Catalog
-			return obs.WriteChromeTrace(f, orun.Spans, func(svc int16) string {
-				if int(svc) >= 0 && int(svc) < len(catalog.Services) {
-					return catalog.Service(int(svc)).Name
-				}
-				return strconv.Itoa(int(svc))
-			})
+			return obs.WriteChromeTrace(f, orun.Spans, svcName)
 		}); err != nil {
 			fatal(err)
+		}
+	}
+	if *exemplarsOut != "" || *exemplarsTrace != "" {
+		// Tail exemplars: the K slowest stitched trees, selected by virtual
+		// time only — byte-identical for every -shard-workers value.
+		xs := obs.Exemplars(orun.Spans, *exemplarsK)
+		if *exemplarsOut == "-" {
+			if err := obs.WriteExemplarsJSON(os.Stdout, xs); err != nil {
+				fatal(err)
+			}
+			os.Stdout.WriteString("\n")
+		} else if *exemplarsOut != "" {
+			if err := writeFile(*exemplarsOut, func(f *os.File) error {
+				return obs.WriteExemplarsJSON(f, xs)
+			}); err != nil {
+				fatal(err)
+			}
+		}
+		if *exemplarsTrace != "" {
+			if err := writeFile(*exemplarsTrace, func(f *os.File) error {
+				return obs.WriteChromeTrace(f, obs.ExemplarSpans(xs), svcName)
+			}); err != nil {
+				fatal(err)
+			}
 		}
 	}
 	if *spansOut != "" {
@@ -167,8 +197,11 @@ func main() {
 		}
 	}
 
+	if *fabric && (fres == nil || fres.Fabric == nil) {
+		fatal(fmt.Errorf("-fabric needs a coupled multi-server fleet (-servers 2 or more)"))
+	}
 	if *jsonOut {
-		printJSON(label, app.Name, *rps, latency, rep)
+		printJSON(label, app.Name, *rps, latency, rep, fres, *fabric)
 		return
 	}
 	fmt.Printf("machine : %s\n", label)
@@ -179,12 +212,55 @@ func main() {
 	// the latency sample. Agreement is the layer's end-to-end cross-check.
 	fmt.Printf("\nreconcile: traced p99 %.1fus vs measured p99 %.1fus (diff %+.2f%%)\n",
 		rep.P99.Micros(), latency.P99, pctDiff(rep.P99.Micros(), latency.P99))
+	if *fabric {
+		fmt.Println()
+		writeFabricTable(fres, *shardWorkers)
+	}
+}
+
+// writeFabricTable prints the PDES fabric's self-observability report: the
+// deterministic window/message aggregates, then the per-shard execution
+// split and the wall-clock diagnostics (worker-pool runs only).
+func writeFabricTable(fres *fleet.Result, workers int) {
+	st := fres.Fabric
+	fmt.Printf("pdes fabric: %d shards (dispatcher + servers), lookahead %.3fus\n",
+		st.Shards, st.Lookahead.Micros())
+	fmt.Printf("  windows    : %d rounds, %d events (%.1f events/window)\n",
+		st.Rounds, st.WindowEvents, st.EventsPerWindow())
+	fmt.Printf("  lookahead  : %.1f%% utilized (mean window width %.3fus)\n",
+		100*st.LookaheadUtilization(), meanWindowUS(st))
+	fmt.Printf("  messages   : %d sent, %d delivered\n", st.MessagesSent, st.MessagesDelivered)
+	if len(st.ShardWindows) > 0 {
+		fmt.Println("  per shard  :")
+		for i := range st.ShardWindows {
+			name := fmt.Sprintf("server %d", i-1)
+			if i == 0 {
+				name = "dispatcher"
+			}
+			fmt.Printf("    %-10s %10d windows %12d events\n", name, st.ShardWindows[i], st.ShardEvents[i])
+		}
+	}
+	if st.BarrierWaitSeconds > 0 {
+		fmt.Printf("  wall       : %.3fs barrier wait, %.3fs worker busy (%.1f%% busy on %d workers)\n",
+			st.BarrierWaitSeconds, st.WorkerBusySeconds, 100*st.BusyFraction(workers), workers)
+	}
+	fmt.Printf("  run        : %d events total, %.3fs wall\n", fres.EventsProcessed, fres.WallSeconds)
+}
+
+func meanWindowUS(st *umanycore.FabricStats) float64 {
+	if st.Rounds == 0 {
+		return 0
+	}
+	return st.AdvanceSum.Micros() / float64(st.Rounds)
 }
 
 // printJSON emits the report as one stable-order JSON object built with
 // stats.JSONObject — the fixed-field-order encoder shared with
-// umsim/umbench; the latency field uses stats.Summary's marshaling.
-func printJSON(machineName, appName string, rps float64, latency umanycore.Summary, rep *umanycore.BlameReport) {
+// umsim/umbench; the latency field uses stats.Summary's marshaling. Fleet
+// runs append a "fleet" section (events, wall cost, fabric rounds) and,
+// with -fabric, the full deterministic fabric aggregates. Every field
+// except fleet.wall_seconds is deterministic.
+func printJSON(machineName, appName string, rps float64, latency umanycore.Summary, rep *umanycore.BlameReport, fres *fleet.Result, fabric bool) {
 	lat, err := latency.MarshalJSON()
 	if err != nil {
 		fatal(err)
@@ -208,7 +284,43 @@ func printJSON(machineName, appName string, rps float64, latency umanycore.Summa
 					}
 				}).
 				Int("residual_ps", int64(rep.Residual()))
+			if len(rep.ByServerStage) > 1 {
+				t.Obj("by_server_stage_us", func(sv *stats.JSONObject) {
+					for srv := range rep.ByServerStage {
+						by := rep.ByServerStage[srv]
+						sv.Obj("s"+strconv.Itoa(srv), func(b *stats.JSONObject) {
+							for st := obs.Stage(0); st < obs.NumStages; st++ {
+								if d := by[st]; d != 0 {
+									b.FloatFixed(st.String(), d.Micros(), 3)
+								}
+							}
+						})
+					}
+				})
+			}
 		})
+	if fres != nil {
+		o.Obj("fleet", func(fo *stats.JSONObject) {
+			fo.Int("events_processed", int64(fres.EventsProcessed)).
+				Float("wall_seconds", fres.WallSeconds)
+			if fres.Fabric != nil {
+				fo.Int("fabric_rounds", int64(fres.Fabric.Rounds))
+			}
+		})
+		if fabric && fres.Fabric != nil {
+			st := fres.Fabric
+			o.Obj("fabric", func(fo *stats.JSONObject) {
+				fo.Int("shards", int64(st.Shards)).
+					FloatFixed("lookahead_us", st.Lookahead.Micros(), 3).
+					Int("rounds", int64(st.Rounds)).
+					Int("messages_sent", int64(st.MessagesSent)).
+					Int("messages_delivered", int64(st.MessagesDelivered)).
+					Int("window_events", int64(st.WindowEvents)).
+					FloatFixed("events_per_window", st.EventsPerWindow(), 3).
+					FloatFixed("lookahead_utilization", st.LookaheadUtilization(), 6)
+			})
+		}
+	}
 	os.Stdout.Write(o.Bytes())
 	os.Stdout.WriteString("\n")
 }

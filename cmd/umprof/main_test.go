@@ -3,9 +3,19 @@ package main
 import (
 	"os"
 	"os/exec"
+	"regexp"
 	"strings"
 	"testing"
 )
+
+// wallSecondsRe matches the one non-deterministic field of the fleet JSON
+// output; golden tests normalize it to 0 before comparing (the same
+// normalization scripts/ci.sh applies for its cross-worker byte-compare).
+var wallSecondsRe = regexp.MustCompile(`"wall_seconds":[0-9.eE+-]+`)
+
+func normalizeWall(s string) string {
+	return wallSecondsRe.ReplaceAllString(s, `"wall_seconds":0`)
+}
 
 // TestMain re-execs the test binary as the real command when the driver
 // environment variable is set, so tests can run main() as a subprocess with
@@ -53,8 +63,10 @@ func TestJSONGolden(t *testing.T) {
 
 // TestFleetP2CJSONGolden pins the coupled-fleet path byte for byte: two
 // servers (one 2× straggler), power-of-two-choices routing, cross-server
-// RPCs shipped between the servers, traces merged across both. The line
-// only moves when the fleet coupling or wire format deliberately changes.
+// RPCs shipped between the servers, traces stitched across both — the
+// by_server_stage_us split and the fleet execution summary included. Only
+// wall_seconds is normalized (the one wall-clock field). The line only moves
+// when the fleet coupling or wire format deliberately changes.
 func TestFleetP2CJSONGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a simulation")
@@ -65,9 +77,40 @@ func TestFleetP2CJSONGolden(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr)
 	}
-	want := `{"machine":"uManycore x2 servers (p2c)","app":"Text","rps":8000,"latency":{"n":219,"mean":683.8382373835612,"p50":672.051632,"p99":1041.98432,"max":1139.72855},"tail":{"top_frac":0.01,"traced":219,"analyzed":3,"cutoff_us":1041.984,"traced_p99_us":1041.984,"by_stage_us":{"ingress":3.600,"sched":0.192,"ctxswitch":2.048,"service":2518.921,"storage":639.981,"net":63.540},"residual_ps":0}}` + "\n"
-	if stdout != want {
-		t.Fatalf("fleet json output drifted:\ngot:  %swant: %s", stdout, want)
+	want := `{"machine":"uManycore x2 servers (p2c)","app":"Text","rps":8000,"latency":{"n":219,"mean":683.8382373835612,"p50":672.051632,"p99":1041.98432,"max":1139.72855},"tail":{"top_frac":0.01,"traced":219,"analyzed":3,"cutoff_us":1041.984,"traced_p99_us":1041.984,"by_stage_us":{"ingress":3.600,"sched":0.192,"ctxswitch":2.048,"service":2518.921,"storage":639.981,"net":63.540},"residual_ps":0,"by_server_stage_us":{"s0":{},"s1":{"ingress":3.600,"sched":0.192,"ctxswitch":2.048,"service":2518.921,"storage":639.981,"net":63.540}}},"fleet":{"events_processed":11683,"wall_seconds":0,"fabric_rounds":7629}}` + "\n"
+	if got := normalizeWall(stdout); got != want {
+		t.Fatalf("fleet json output drifted:\ngot:  %swant: %s", got, want)
+	}
+}
+
+// TestFabricJSONGolden pins the PDES fabric report: -fabric appends the
+// coupling's deterministic execution counters (rounds, messages, lookahead
+// utilization) to the JSON output. Wall-clock diagnostics are deliberately
+// absent from the JSON form, so after wall_seconds normalization the bytes
+// are exact for every shard-worker count.
+func TestFabricJSONGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	args := []string{
+		"-app", "Text", "-rps", "8000", "-duration", "40ms", "-warmup", "10ms",
+		"-servers", "2", "-lb", "p2c", "-skew", "1,2", "-json", "-fabric",
+	}
+	stdout, stderr, code := runMain(t, args...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	wantFabric := `"fabric":{"shards":3,"lookahead_us":0.500,"rounds":7629,"messages_sent":1217,"messages_delivered":1217,"window_events":11683,"events_per_window":1.531,"lookahead_utilization":1.000000}`
+	if !strings.Contains(stdout, wantFabric) {
+		t.Fatalf("fabric report drifted:\ngot:  %swant fragment: %s", stdout, wantFabric)
+	}
+	// The single-engine reference must report the same fabric aggregates.
+	refOut, stderr, code := runMain(t, append(args, "-shard-workers", "-1")...)
+	if code != 0 {
+		t.Fatalf("reference exit %d, stderr: %s", code, stderr)
+	}
+	if normalizeWall(refOut) != normalizeWall(stdout) {
+		t.Fatalf("-shard-workers -1 fabric output diverged:\nref: %sgot: %s", refOut, stdout)
 	}
 }
 

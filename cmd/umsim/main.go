@@ -41,6 +41,8 @@ func main() {
 	noContention := flag.Bool("no-icn-contention", false, "disable ICN contention (Fig 7 baseline)")
 	replicates := flag.Int("replicates", 1, "independent replicates with derived seeds (run in parallel; reports the p99 spread)")
 	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON of replicate 0 to FILE")
+	exemplarsOut := flag.String("exemplars", "", "write replicate 0's K slowest request trees as JSON to FILE (- = stdout)")
+	exemplarsK := flag.Int("exemplars-k", 3, "how many tail exemplars to select (needs -exemplars)")
 	metricsOut := flag.String("metrics", "", "write replicate 0's metrics snapshot as JSON to FILE (- = stdout)")
 	sample := flag.Duration("sample", 0, "streaming-telemetry sampling interval for replicate 0 (simulated; 0 = off unless another telemetry flag enables it)")
 	seriesOut := flag.String("series", "", "write replicate 0's telemetry time series as CSV to FILE (- = stdout)")
@@ -94,7 +96,7 @@ func main() {
 	}
 	// Observability is recorded for replicate 0 only — the seed the user
 	// asked for; extra replicates stay on the zero-overhead path.
-	obsOn := *traceOut != "" || *metricsOut != ""
+	obsOn := *traceOut != "" || *metricsOut != "" || *exemplarsOut != ""
 	teleOn := *sample > 0 || *seriesOut != "" || *dash || *sloP99 > 0
 	var teleOpts *umanycore.TelemetryOptions
 	if teleOn {
@@ -123,7 +125,10 @@ func main() {
 		rrc := rc
 		rrc.Seed = s
 		if obsOn && i == 0 {
-			rrc.Obs = &umanycore.ObsOptions{Trace: *traceOut != "", Metrics: *metricsOut != ""}
+			rrc.Obs = &umanycore.ObsOptions{
+				Trace:   *traceOut != "" || *exemplarsOut != "",
+				Metrics: *metricsOut != "",
+			}
 		}
 		if teleOn && i == 0 {
 			rrc.Telemetry = teleOpts
@@ -138,6 +143,11 @@ func main() {
 
 	if *traceOut != "" {
 		if err := writeTrace(*traceOut, res.Obs.Spans, app); err != nil {
+			fatal(err)
+		}
+	}
+	if *exemplarsOut != "" {
+		if err := writeExemplars(*exemplarsOut, res.Obs.Spans, *exemplarsK); err != nil {
 			fatal(err)
 		}
 	}
@@ -282,6 +292,28 @@ func writeTrace(path string, spans []umanycore.Span, app *umanycore.App) error {
 		return strconv.Itoa(int(svc))
 	}
 	if err := obs.WriteChromeTrace(f, spans, name); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeExemplars dumps the K slowest request trees as deterministic JSON —
+// the virtual-time-selected tail exemplars (obs.Exemplars).
+func writeExemplars(path string, spans []umanycore.Span, k int) error {
+	xs := obs.Exemplars(spans, k)
+	if path == "-" {
+		if err := obs.WriteExemplarsJSON(os.Stdout, xs); err != nil {
+			return err
+		}
+		_, err := os.Stdout.WriteString("\n")
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteExemplarsJSON(f, xs); err != nil {
 		f.Close()
 		return err
 	}

@@ -44,9 +44,9 @@ func EncodeResult(r *Result) ([]byte, error) {
 		Float("mean_utilization", r.MeanUtilization).
 		Int("events_processed", int64(r.EventsProcessed)).
 		RawArr("per_server", perServer)
-	// WallSeconds is deliberately absent: it is the one non-deterministic
-	// Result field, and the cache payload must be a pure function of the
-	// simulation inputs.
+	// WallSeconds and Fabric are deliberately absent: wall clock and fabric
+	// execution diagnostics are outside the deterministic domain, and the
+	// cache payload must be a pure function of the simulation inputs.
 	return o.Bytes(), nil
 }
 

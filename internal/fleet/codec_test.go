@@ -15,9 +15,11 @@ func codecFleetRun(t *testing.T) *Result {
 	fc.Servers = 2
 	rc := machine.RunConfig{Duration: 80 * sim.Millisecond, Warmup: 16 * sim.Millisecond, Drain: sim.Second}
 	r := Run(fc, homeT(t), 6000, rc, 3)
-	// WallSeconds is outside the codec's domain (non-deterministic); decoded
-	// results carry zero, so the round-trip fixture does too.
+	// WallSeconds and Fabric are outside the codec's domain (wall-clock /
+	// execution diagnostics); decoded results carry the zero values, so the
+	// round-trip fixture does too.
 	r.WallSeconds = 0
+	r.Fabric = nil
 	return r
 }
 

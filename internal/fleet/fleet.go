@@ -40,6 +40,7 @@ import (
 
 	"umanycore/internal/machine"
 	"umanycore/internal/obs"
+	"umanycore/internal/pdes"
 	"umanycore/internal/sim"
 	"umanycore/internal/stats"
 	"umanycore/internal/sweep"
@@ -165,6 +166,11 @@ type Result struct {
 	// non-deterministic domain: equality checks and the cache codec ignore
 	// it (decoded results carry zero).
 	WallSeconds float64
+	// Fabric is the PDES coupling's self-observability (coupled multi-server
+	// fleets only; nil otherwise). All fields except the two wall-clock ones
+	// are deterministic; the cache codec ignores the whole struct like
+	// WallSeconds.
+	Fabric *pdes.Stats
 }
 
 // Run drives the coupled fleet at totalRPS: every server lives in its own

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 
@@ -23,11 +24,16 @@ func homeT(t *testing.T) *workload.App {
 	return nil
 }
 
-// stripWall zeroes the one intentionally non-deterministic Result field so
-// determinism tests can DeepEqual whole results.
+// stripWall zeroes the intentionally non-deterministic Result fields — the
+// run's wall cost and the fabric's wall-clock diagnostics — so determinism
+// tests can DeepEqual whole results.
 func stripWall(rs ...*Result) {
 	for _, r := range rs {
 		r.WallSeconds = 0
+		if r.Fabric != nil {
+			r.Fabric.BarrierWaitSeconds = 0
+			r.Fabric.WorkerBusySeconds = 0
+		}
 	}
 }
 
@@ -253,6 +259,194 @@ func TestCoupledCrossServerRPCs(t *testing.T) {
 	}
 	if res.Latency.Mean <= lres.Latency.Mean {
 		t.Fatalf("coupled cross-server RTT not visible: %v vs %v", res.Latency.Mean, lres.Latency.Mean)
+	}
+}
+
+// TestFleetStitchedTracing checks the distributed-tracing contract end to
+// end on a real coupled fleet: every peer-served envelope is stitched under
+// its caller's invoke span, cross-server trees reconcile to the picosecond,
+// blame splits by (server, stage), and the fabric's self-observability is
+// present and consistent with the exported counters.
+func TestFleetStitchedTracing(t *testing.T) {
+	app := homeT(t)
+	rc := machine.RunConfig{
+		Duration: 40 * sim.Millisecond,
+		Warmup:   8 * sim.Millisecond,
+		Drain:    500 * sim.Millisecond,
+		Obs:      &obs.Options{Trace: true, Metrics: true},
+	}
+	fc := DefaultConfig(machine.UManycoreConfig())
+	fc.Servers = 3
+	fc.LB = "p2c"
+	fc.CrossServerFrac = 1
+	fc.InterServerRTT = 100 * sim.Microsecond
+
+	res := Run(fc, app, 18000, rc, 13)
+	if res.RemoteServed == 0 {
+		t.Fatal("no cross-server RPCs; stitching test is vacuous")
+	}
+	spans := res.Obs.Spans
+	if len(spans) == 0 {
+		t.Fatal("traced fleet run recorded no spans")
+	}
+
+	stitched := 0
+	for i, s := range spans {
+		if s.ID != uint64(i)+1 {
+			t.Fatalf("span %d has ID %d, want dense IDs", i, s.ID)
+		}
+		if s.Link != 0 && s.Parent == 0 {
+			t.Fatalf("span %d: link-tagged envelope left parentless (link %d, server %d)", s.ID, s.Link, s.Server)
+		}
+		if s.Parent == 0 {
+			continue
+		}
+		p := &spans[s.Parent-1]
+		if s.Req != p.Req {
+			t.Fatalf("span %d req %d != parent req %d", s.ID, s.Req, p.Req)
+		}
+		if s.Server != p.Server {
+			// A server boundary inside one tree: must be a stitched remote
+			// envelope, contained in the caller's invoke span.
+			if s.Stage != obs.StageInvoke || s.Link == 0 || s.Link != p.Link {
+				t.Fatalf("span %d crosses servers without a matching link: %+v -> %+v", s.ID, s, p)
+			}
+			if s.Start < p.Start || (s.End > s.Start && p.End > p.Start && s.End > p.End) {
+				t.Fatalf("remote envelope %d [%v,%v] escapes caller invoke [%v,%v]",
+					s.ID, s.Start, s.End, p.Start, p.End)
+			}
+			stitched++
+		}
+	}
+	if stitched == 0 {
+		t.Fatal("no stitched cross-server envelopes in the merged trace")
+	}
+
+	rep := obs.Analyze(spans, 0.05)
+	if rep.Total == 0 {
+		t.Fatal("no clean requests to analyze")
+	}
+	if rep.Residual() != 0 {
+		t.Fatalf("cross-server residual = %v, want 0", rep.Residual())
+	}
+	if len(rep.ByServerStage) != fc.Servers {
+		t.Fatalf("ByServerStage has %d servers, want %d", len(rep.ByServerStage), fc.Servers)
+	}
+	active := 0
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		var sum sim.Time
+		for srv := range rep.ByServerStage {
+			sum += rep.ByServerStage[srv][st]
+		}
+		if sum != rep.ByStage[st] {
+			t.Fatalf("stage %v: per-server sum %v != ByStage %v", st, sum, rep.ByStage[st])
+		}
+	}
+	for srv := range rep.ByServerStage {
+		for _, d := range rep.ByServerStage[srv] {
+			if d != 0 {
+				active++
+				break
+			}
+		}
+	}
+	if active < 2 {
+		t.Fatalf("critical path touched %d servers, want >= 2 with CrossServerFrac=1", active)
+	}
+
+	// Fabric self-observability: Result.Fabric and the pdes.* metrics agree.
+	st := res.Fabric
+	if st == nil {
+		t.Fatal("coupled run carried no fabric stats")
+	}
+	if st.Rounds == 0 || st.MessagesSent == 0 || st.MessagesSent != st.MessagesDelivered {
+		t.Fatalf("fabric stats inconsistent: %+v", st)
+	}
+	if st.Shards != fc.Servers+1 || len(st.ShardWindows) != st.Shards || len(st.ShardEvents) != st.Shards {
+		t.Fatalf("fabric shard accounting: %+v", st)
+	}
+	var shardEvents uint64
+	for _, e := range st.ShardEvents {
+		shardEvents += e
+	}
+	if shardEvents != st.WindowEvents {
+		t.Fatalf("per-shard events sum %d != window events %d", shardEvents, st.WindowEvents)
+	}
+	if u := st.LookaheadUtilization(); u <= 0 || u > 1 {
+		t.Fatalf("lookahead utilization = %v", u)
+	}
+	for name, want := range map[string]float64{
+		"pdes.rounds":         float64(st.Rounds),
+		"pdes.msgs.sent":      float64(st.MessagesSent),
+		"pdes.msgs.delivered": float64(st.MessagesDelivered),
+		"pdes.window.events":  float64(st.WindowEvents),
+		"pdes.shards":         float64(st.Shards),
+		"pdes.lookahead.util": st.LookaheadUtilization(),
+	} {
+		got, ok := res.Obs.Metrics.Get(name)
+		if !ok {
+			t.Fatalf("metric %q missing from merged snapshot", name)
+		}
+		if got != want {
+			t.Fatalf("metric %q = %v, want %v (Result.Fabric)", name, got, want)
+		}
+	}
+}
+
+// TestStitchedObsShardWorkerDeterminism pins the acceptance bar for the
+// tracing layer: the merged observability payload and the tail exemplars are
+// bit-identical for every execution mode — sequential shards, a worker pool,
+// and the -1 single-engine reference (whose full Result legitimately differs
+// in telemetry vitals, so the comparison targets Obs and the exemplars).
+func TestStitchedObsShardWorkerDeterminism(t *testing.T) {
+	app := homeT(t)
+	rc := machine.RunConfig{
+		Duration: 40 * sim.Millisecond,
+		Warmup:   8 * sim.Millisecond,
+		Drain:    500 * sim.Millisecond,
+		Obs:      &obs.Options{Trace: true, Metrics: true},
+	}
+	fc := DefaultConfig(machine.UManycoreConfig())
+	fc.Servers = 3
+	fc.LB = "p2c"
+	fc.CrossServerFrac = 1
+	fc.InterServerRTT = 100 * sim.Microsecond
+
+	run := func(workers int) *Result {
+		c := fc
+		c.ShardWorkers = workers
+		return Run(c, app, 18000, rc, 13)
+	}
+	exemplarJSON := func(r *Result) []byte {
+		var buf bytes.Buffer
+		if err := obs.WriteExemplarsJSON(&buf, obs.Exemplars(r.Obs.Spans, 5)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	ref := run(1)
+	if ref.RemoteServed == 0 {
+		t.Fatal("no cross-server traffic; determinism test is vacuous")
+	}
+	wantX := exemplarJSON(ref)
+	for _, w := range []int{0, 4, -1} {
+		got := run(w)
+		if !reflect.DeepEqual(ref.Obs, got.Obs) {
+			t.Fatalf("ShardWorkers=%d: observability payload diverged from sequential execution", w)
+		}
+		if !bytes.Equal(wantX, exemplarJSON(got)) {
+			t.Fatalf("ShardWorkers=%d: exemplar JSON diverged", w)
+		}
+		// The fabric's deterministic aggregates are mode-invariant too (the
+		// per-shard slices are an execution detail the reference lacks).
+		if got.Fabric.Rounds != ref.Fabric.Rounds ||
+			got.Fabric.MessagesSent != ref.Fabric.MessagesSent ||
+			got.Fabric.MessagesDelivered != ref.Fabric.MessagesDelivered ||
+			got.Fabric.WindowEvents != ref.Fabric.WindowEvents ||
+			got.Fabric.AdvanceSum != ref.Fabric.AdvanceSum {
+			t.Fatalf("ShardWorkers=%d: fabric aggregates diverged:\nref %+v\ngot %+v", w, ref.Fabric, got.Fabric)
+		}
 	}
 }
 

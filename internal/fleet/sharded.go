@@ -119,7 +119,15 @@ func runCoupled(fc Config, app *workload.App, totalRPS float64, rc machine.RunCo
 				reg = obs.NewRegistry()
 			}
 			topt := *rc.Telemetry
-			topt.NoEngineVitals = true
+			if fc.ShardWorkers < 0 {
+				// Single-engine reference: every server shares one engine, so
+				// per-server vitals are not attributable — suppress them.
+				topt.NoEngineVitals = true
+			} else {
+				// Each server owns its engine; namespace its vitals so the
+				// merged fleet timeline keeps them apart (server3.sim.events).
+				topt.VitalsPrefix = fmt.Sprintf("server%d.", s)
+			}
 			tele = telemetry.Start(engs[s], reg, horizon, topt)
 		}
 		if col != nil || reg != nil {
@@ -138,21 +146,78 @@ func runCoupled(fc Config, app *workload.App, totalRPS float64, rc machine.RunCo
 		for s := range machines {
 			src := s
 			peerRng := rngs[src].Rand("fleet-peer")
-			machines[src].SetRemoteSender(func(svcID int, depart sim.Time, respond func(done sim.Time)) {
+			var linkSeq uint64
+			machines[src].SetRemoteSender(func(svcID int, depart sim.Time, traced bool, respond func(done sim.Time)) uint64 {
 				p := peerRng.Intn(n - 1)
 				if p >= src {
 					p++
 				}
+				// Traced sends get a fleet-unique remote-link ID (source
+				// server in the high bits, per-server send ordinal below):
+				// the caller tags its invoke span with it, the peer tags the
+				// served subtree's envelope, and obs.Merge stitches the two
+				// into one tree. Minted in the server's deterministic send
+				// order, so links are identical for every shard-worker count.
+				var link uint64
+				if traced {
+					linkSeq++
+					link = uint64(src+1)<<40 | linkSeq
+				}
 				peer := machines[p]
 				net.Send(src+1, p+1, depart, func() {
-					peer.SubmitRemote(svcID, func(done sim.Time) {
+					peer.SubmitRemote(svcID, link, func(done sim.Time) {
 						// respond computes the return-path timing from done
 						// alone, so running it one wire delay later on the
 						// origin shard reproduces the reference exactly.
 						net.Send(p+1, src+1, done+lookahead, func() { respond(done) })
 					})
 				})
+				return link
 			})
+		}
+	}
+
+	// Fabric self-observability: the PDES coupling exports its own counters
+	// through a dedicated metrics registry (um_pdes_* on /metrics) and, when
+	// telemetry is on, a sampler on the dispatcher engine streams them as
+	// virtual-time series. Instruments update at window barriers from the
+	// fabric's deterministic aggregates (throttled to the telemetry
+	// interval), so everything exported is identical for every ShardWorkers
+	// value including the -1 reference.
+	var fabReg *obs.Registry
+	var fabTele *telemetry.Sampler
+	var updateFabric func()
+	var fabTick sim.Time
+	if (rc.Obs != nil && rc.Obs.Metrics) || rc.Telemetry != nil {
+		fabReg = obs.NewRegistry()
+		fabReg.Gauge("pdes.shards").Set(float64(n + 1))
+		fabReg.Gauge("pdes.lookahead.us").Set(lookahead.Micros())
+		rounds := fabReg.Counter("pdes.rounds")
+		sent := fabReg.Counter("pdes.msgs.sent")
+		delivered := fabReg.Counter("pdes.msgs.delivered")
+		events := fabReg.Counter("pdes.window.events")
+		util := fabReg.Gauge("pdes.lookahead.util")
+		epw := fabReg.Gauge("pdes.window.events.mean")
+		var prev pdes.Stats
+		updateFabric = func() {
+			st := net.Stats()
+			rounds.Add(float64(st.Rounds - prev.Rounds))
+			sent.Add(float64(st.MessagesSent - prev.MessagesSent))
+			delivered.Add(float64(st.MessagesDelivered - prev.MessagesDelivered))
+			events.Add(float64(st.WindowEvents - prev.WindowEvents))
+			util.Set(st.LookaheadUtilization())
+			epw.Set(st.EventsPerWindow())
+			prev = st
+		}
+		if rc.Telemetry != nil {
+			topt := *rc.Telemetry
+			topt.NoEngineVitals = true
+			topt.Rules = nil
+			fabTele = telemetry.Start(dispEng, fabReg, horizon, topt)
+			fabTick = topt.Interval
+			if fabTick <= 0 {
+				fabTick = sim.Millisecond
+			}
 		}
 	}
 
@@ -184,13 +249,24 @@ func runCoupled(fc Config, app *workload.App, totalRPS float64, rc machine.RunCo
 	dispEng.At(gap(), schedule)
 
 	// Run to horizon; at every window barrier, refresh the dispatcher's
-	// snapshot of how many roots each server has answered. The post hook
-	// runs with no shard executing, so reading machine state is safe.
-	net.Run(horizon, func(sim.Time) {
+	// snapshot of how many roots each server has answered, and (throttled)
+	// the fabric instruments. The post hook runs with no shard executing, so
+	// reading machine and fabric state is safe.
+	var nextFab sim.Time
+	net.Run(horizon, func(barrier sim.Time) {
 		for s, m := range machines {
 			responded[s] = m.RespondedRoots()
 		}
+		if updateFabric != nil && fabTick > 0 && barrier >= nextFab {
+			updateFabric()
+			nextFab = barrier + fabTick
+		}
 	})
+	if updateFabric != nil {
+		// Final update so the /metrics snapshot and the sampler's closing
+		// partial window carry the complete run.
+		updateFabric()
+	}
 
 	// Per-server results in server order, like the one-server path's tail.
 	perServer := make([]*machine.Result, n)
@@ -226,6 +302,24 @@ func runCoupled(fc Config, app *workload.App, totalRPS float64, rc machine.RunCo
 	}
 	for _, e := range distinct {
 		out.EventsProcessed += e.Fired()
+	}
+	st := net.Stats()
+	out.Fabric = &st
+	if fabReg != nil && out.Obs != nil {
+		out.Obs.Metrics = obs.CombineSnapshots([]obs.Snapshot{
+			out.Obs.Metrics, fabReg.Snapshot(dispEng.Now()),
+		})
+	}
+	if fabTele != nil && out.Telemetry != nil {
+		// Remerge with the fabric run appended so the pdes.* series join the
+		// fleet timeline; server alert sources keep their indices (the
+		// fabric sampler runs no rules, so it contributes no alerts).
+		runs := make([]*telemetry.Run, 0, n+1)
+		for _, res := range perServer {
+			runs = append(runs, res.Telemetry)
+		}
+		runs = append(runs, fabTele.Finish(dispEng.Now()))
+		out.Telemetry = telemetry.Merge(runs)
 	}
 	out.WallSeconds = time.Since(start).Seconds()
 	return out

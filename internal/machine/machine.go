@@ -93,9 +93,12 @@ func (m *Machine) rand(name string) *rand.Rand {
 // the callee service, depart the virtual time the request has left this
 // server's NIC (half the inter-server RTT already paid), and respond must
 // be called exactly once with the virtual time the peer's response leaves
-// the peer server. The fleet runner wires this to a peer machine's
-// SubmitRemote on the shared engine.
-type RemoteSender func(svcID int, depart sim.Time, respond func(done sim.Time))
+// the peer server. traced says the caller recorded an invoke span for this
+// RPC; when set, the fleet mints a fleet-unique remote-link ID, hands it to
+// the peer's SubmitRemote so the peer traces the served subtree under that
+// link, and returns it so the caller can tag its invoke span (obs.Merge
+// stitches the two halves). Untraced sends return 0.
+type RemoteSender func(svcID int, depart sim.Time, traced bool, respond func(done sim.Time)) (link uint64)
 
 type domain struct {
 	m        *Machine
@@ -441,8 +444,11 @@ func (m *Machine) SetRemoteSender(f RemoteSender) { m.remoteSend = f }
 // request, runs svcID's full invocation subtree on this machine, and calls
 // onDone with the virtual time the response leaves this server's NIC.
 // Remote invocations never enter the latency sample or the Submitted /
-// Completed root accounting; they are extra offered load.
-func (m *Machine) SubmitRemote(svcID int, onDone func(done sim.Time)) {
+// Completed root accounting; they are extra offered load. A nonzero link
+// (caller traced, tracing on here) opens a link-tagged envelope span so the
+// served subtree is recorded in this machine's collector and stitched under
+// the caller's invoke span by obs.Merge.
+func (m *Machine) SubmitRemote(svcID int, link uint64, onDone func(done sim.Time)) {
 	m.RemoteServed++
 	now := m.eng.Now()
 	inv := &invocation{
@@ -454,9 +460,15 @@ func (m *Machine) SubmitRemote(svcID int, onDone func(done sim.Time)) {
 	}
 	dom := m.pickInstance(svcID)
 	inv.dom = dom
+	if m.trace != nil && link != 0 {
+		inv.span = m.trace.StartRemote(inv.id, link, int16(svcID), now)
+	}
 	at := now + m.cfg.IngressLatency + m.cfg.NICHWDelay
 	if m.cfg.IOViaICN {
 		at, _ = m.ioDeliverIn(at, dom.endpoint, m.cfg.ReqMsgBytes)
+	}
+	if inv.span != 0 && at > now {
+		m.trace.Add(inv.span, obs.StageIngress, now, at)
 	}
 	m.eng.At(at, func() { m.enqueue(inv) })
 }
@@ -981,10 +993,12 @@ func (m *Machine) sendChild(c *core, parent *invocation, svcID int, saved sim.Ti
 // coupling: sender-side processing, egress across the on-package ICN (when
 // I/O is routed through it), half the inter-server RTT, then the fleet
 // delivers it to a peer machine's ingress. The response retraces the same
-// path. On this machine's trace the whole round trip is one invoke span
-// whose wire legs are StageNet; the peer's processing time is the span's
-// untracked middle, surfacing as StageOther in tail blame (the peer does
-// not trace it — it is not a client request there).
+// path. On this machine's trace the round trip is one invoke span whose
+// wire legs are StageNet; when traced, the fleet mints a remote-link ID so
+// the peer records the served subtree in its own collector under the same
+// link, and obs.Merge stitches that subtree between the wire legs — tail
+// blame then charges the remote middle to the peer server's stages instead
+// of an opaque StageOther blob.
 func (m *Machine) sendChildRemote(c *core, parent *invocation, svcID int, saved sim.Time) {
 	dep := saved + m.cfg.CyclesToTime(m.cfg.SendProcCycles)
 	out := dep
@@ -1003,7 +1017,7 @@ func (m *Machine) sendChildRemote(c *core, parent *invocation, svcID int, saved 
 		}
 	}
 	home := parent.dom
-	m.remoteSend(svcID, depart, func(done sim.Time) {
+	link := m.remoteSend(svcID, depart, span != 0, func(done sim.Time) {
 		back := done + m.cfg.RemoteRTT/2
 		at := back
 		if m.cfg.IOViaICN {
@@ -1021,6 +1035,9 @@ func (m *Machine) sendChildRemote(c *core, parent *invocation, svcID int, saved 
 		}
 		m.eng.At(at, func() { m.resolveChild(parent) })
 	})
+	if span != 0 {
+		m.trace.SetLink(span, link)
+	}
 }
 
 // ioEndpoint is the topology endpoint adjacent to the package's top-level
@@ -1139,6 +1156,12 @@ func (m *Machine) respond(inv *invocation) {
 			// Peer-served child RPC (coupled fleet): the response leaves via
 			// the top-level NIC like a root's, but the caller lives on
 			// another server — hand the egress time back to the fleet.
+			if inv.span != 0 {
+				if at > now {
+					m.trace.Add(inv.span, obs.StageIngress, now, at)
+				}
+				m.trace.End(inv.span, at)
+			}
 			inv.onDone(at)
 			return
 		}

@@ -40,6 +40,12 @@ type Report struct {
 	P99 sim.Time
 	// ByStage sums critical-path time per stage over analyzed requests.
 	ByStage [NumStages]sim.Time
+	// ByServerStage splits ByStage by the server that recorded each
+	// critical-path span (index = Span.Server), so cross-server trees
+	// attribute remote work to the peer server's stages. Summing over
+	// servers reproduces ByStage exactly. Nil when every analyzed span came
+	// from one server (single-machine runs, unmerged traces).
+	ByServerStage [][NumStages]sim.Time
 	// Requests lists the analyzed requests, slowest first.
 	Requests []RequestBlame
 }
@@ -56,9 +62,13 @@ func Analyze(spans []Span, topFrac float64) *Report {
 	index := make(map[uint64]int, len(spans))
 	children := make(map[uint64][]int)
 	var roots []int
+	maxServer := int32(0)
 	for i := range spans {
 		s := &spans[i]
 		index[s.ID] = i
+		if s.Server > maxServer {
+			maxServer = s.Server
+		}
 		if s.Parent != 0 {
 			children[s.Parent] = append(children[s.Parent], i)
 			continue
@@ -66,6 +76,9 @@ func Analyze(spans []Span, topFrac float64) *Report {
 		if s.Stage == StageRequest && s.End > s.Start && s.Flags == 0 {
 			roots = append(roots, i)
 		}
+	}
+	if maxServer > 0 {
+		rep.ByServerStage = make([][NumStages]sim.Time, maxServer+1)
 	}
 	// Child walk order: ascending End (ties by Start then ID), so the
 	// backward critical-path scan sees the last-finishing child first.
@@ -106,7 +119,7 @@ func Analyze(spans []Span, topFrac float64) *Report {
 	for _, ri := range roots[:k] {
 		root := &spans[ri]
 		rb := RequestBlame{Req: root.Req, SvcID: root.SvcID, Latency: root.Dur()}
-		criticalWalk(spans, children, ri, root.Start, root.End, &rb.ByStage)
+		criticalWalk(spans, children, ri, root.Start, root.End, &rb.ByStage, rep.ByServerStage)
 		for st, d := range rb.ByStage {
 			rep.ByStage[st] += d
 		}
@@ -120,7 +133,10 @@ func Analyze(spans []Span, topFrac float64) *Report {
 // covered by a critical child go to the span's own stage (envelope spans
 // map to StageOther), covered intervals recurse into the child that
 // finished last. Attribution telescopes, so the stage sums equal to-from.
-func criticalWalk(spans []Span, children map[uint64][]int, idx int, from, to sim.Time, out *[NumStages]sim.Time) {
+// When perServer is non-nil every attribution is mirrored under the
+// recording span's server, splitting the same exact total by (server,
+// stage) — stitched trees charge remote work to the peer that did it.
+func criticalWalk(spans []Span, children map[uint64][]int, idx int, from, to sim.Time, out *[NumStages]sim.Time, perServer [][NumStages]sim.Time) {
 	sp := &spans[idx]
 	stage := sp.Stage
 	if stage == StageRequest || stage == StageInvoke {
@@ -140,15 +156,21 @@ func criticalWalk(spans []Span, children map[uint64][]int, idx int, from, to sim
 			break // sorted by End: everything earlier is out of range too
 		}
 		out[stage] += t - k.End
+		if perServer != nil {
+			perServer[sp.Server][stage] += t - k.End
+		}
 		lo := k.Start
 		if lo < from {
 			lo = from
 		}
-		criticalWalk(spans, children, kids[i], lo, k.End, out)
+		criticalWalk(spans, children, kids[i], lo, k.End, out, perServer)
 		t = lo
 	}
 	if t > from {
 		out[stage] += t - from
+		if perServer != nil {
+			perServer[sp.Server][stage] += t - from
+		}
 	}
 }
 
@@ -200,4 +222,23 @@ func (r *Report) WriteTable(w io.Writer) {
 	}
 	fmt.Fprintf(w, "%-11s %14.1f %14.1f %7.1f%%  (residual %dps)\n",
 		"end-to-end", total.Micros(), total.Micros()/n, 100.0, int64(r.Residual()))
+	if len(r.ByServerStage) > 1 {
+		fmt.Fprintf(w, "\nby server (critical-path time each server contributed):\n")
+		for srv, by := range r.ByServerStage {
+			var sum sim.Time
+			for _, d := range by {
+				sum += d
+			}
+			if sum == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  s%-3d %12.1fus %6.1f%% :", srv, sum.Micros(), 100*float64(sum)/float64(total))
+			for _, st := range blameOrder {
+				if d := by[st]; d != 0 {
+					fmt.Fprintf(w, " %s %.1f", st, d.Micros())
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
 }

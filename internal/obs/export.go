@@ -44,6 +44,14 @@ func WriteChromeTrace(w io.Writer, spans []Span, svcName func(int16) string) err
 			buf = append(buf, `,"core":`...)
 			buf = strconv.AppendInt(buf, int64(s.Core), 10)
 		}
+		if s.Server > 0 {
+			buf = append(buf, `,"server":`...)
+			buf = strconv.AppendInt(buf, int64(s.Server), 10)
+		}
+		if s.Link != 0 {
+			buf = append(buf, `,"link":`...)
+			buf = strconv.AppendUint(buf, s.Link, 10)
+		}
 		if s.Retries > 0 {
 			buf = append(buf, `,"retries":`...)
 			buf = strconv.AppendUint(buf, uint64(s.Retries), 10)
@@ -73,11 +81,11 @@ func appendMicros(buf []byte, us float64) []byte {
 }
 
 // WriteSpansCSV emits one row per span:
-// span,parent,req,stage,svc,core,start_us,end_us,dur_us,retries,flags.
+// span,parent,req,stage,svc,core,server,link,start_us,end_us,dur_us,retries,flags.
 // Open spans export with end_us = dur_us = 0.
 func WriteSpansCSV(w io.Writer, spans []Span) error {
 	bw := bufio.NewWriter(w)
-	bw.WriteString("span,parent,req,stage,svc,core,start_us,end_us,dur_us,retries,flags\n")
+	bw.WriteString("span,parent,req,stage,svc,core,server,link,start_us,end_us,dur_us,retries,flags\n")
 	var buf []byte
 	for i := range spans {
 		s := &spans[i]
@@ -93,6 +101,10 @@ func WriteSpansCSV(w io.Writer, spans []Span) error {
 		buf = strconv.AppendInt(buf, int64(s.SvcID), 10)
 		buf = append(buf, ',')
 		buf = strconv.AppendInt(buf, int64(s.Core), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(s.Server), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, s.Link, 10)
 		buf = append(buf, ',')
 		buf = appendMicros(buf, float64(s.Start)/1e6)
 		buf = append(buf, ',')

@@ -100,8 +100,16 @@ type Span struct {
 	// Retries counts retransmissions realized inside the span (storage
 	// accesses over the lossy external network).
 	Retries uint32
-	Start   sim.Time
-	End     sim.Time
+	// Server is the index of the server (merge-input run) that recorded the
+	// span. Merge assigns it from the input position; 0 before merging.
+	Server int32
+	// Link pairs the two halves of one cross-server child RPC: the caller's
+	// invoke span and the peer-side envelope recorded on the other server
+	// carry the same fleet-assigned link ID, and Merge stitches them into
+	// one tree. 0 = no remote link.
+	Link  uint64
+	Start sim.Time
+	End   sim.Time
 }
 
 // Dur returns the span's length (0 for open spans).
@@ -135,6 +143,17 @@ func (c *Collector) push(s Span) uint64 {
 func (c *Collector) StartRoot(req uint64, svc int16, start sim.Time) uint64 {
 	return c.push(Span{Req: req, Stage: StageRequest, SvcID: svc, Core: -1, Start: start})
 }
+
+// StartRemote opens a peer-served invocation envelope: a parentless
+// StageInvoke span tagged with a fleet-wide remote-link ID, recording the
+// subtree this server runs on behalf of a caller on another server. Merge
+// reparents it under the caller's invoke span carrying the same link.
+func (c *Collector) StartRemote(req, link uint64, svc int16, start sim.Time) uint64 {
+	return c.push(Span{Req: req, Stage: StageInvoke, SvcID: svc, Core: -1, Link: link, Start: start})
+}
+
+// SetLink tags a span with a remote-link ID.
+func (c *Collector) SetLink(id, link uint64) { c.spans[id-1].Link = link }
 
 // Start opens a child span under parent, inheriting the parent's request.
 func (c *Collector) Start(parent uint64, stage Stage, svc int16, start sim.Time) uint64 {
@@ -191,13 +210,20 @@ type Run struct {
 
 // Merge combines runs from independent collectors (fleet servers, sweep
 // replicates) into one Run, re-basing span and request IDs so they stay
-// unique. The result depends only on the input order — which callers fix to
-// job order during sweep reassembly — never on worker count or scheduling.
+// unique and tagging every span with its input index (Span.Server). It then
+// stitches cross-server subtrees: a peer-served envelope (parentless,
+// link-tagged — see Collector.StartRemote) becomes a child of the caller's
+// invoke span carrying the same link, and its subtree joins the caller's
+// request tree, so tail blame and exporters see one tree per root request
+// even when it spanned servers. The result depends only on the input order —
+// which callers fix to server/job order — never on worker count or
+// scheduling.
 func Merge(runs []*Run) *Run {
 	merged := &Run{}
 	var snaps []Snapshot
 	var idOff, reqOff uint64
-	for _, r := range runs {
+	hasLinks := false
+	for i, r := range runs {
 		if r == nil {
 			continue
 		}
@@ -209,12 +235,16 @@ func Merge(runs []*Run) *Run {
 				ns.Parent += idOff
 			}
 			ns.Req += reqOff
+			ns.Server = int32(i)
 			merged.Spans = append(merged.Spans, ns)
 			if s.ID > maxID {
 				maxID = s.ID
 			}
 			if s.Req > maxReq {
 				maxReq = s.Req
+			}
+			if s.Link != 0 {
+				hasLinks = true
 			}
 		}
 		idOff += maxID
@@ -223,6 +253,49 @@ func Merge(runs []*Run) *Run {
 			snaps = append(snaps, r.Metrics)
 		}
 	}
+	if hasLinks {
+		stitch(merged.Spans)
+	}
 	merged.Metrics = CombineSnapshots(snaps)
 	return merged
+}
+
+// stitch reparents every peer-served envelope under the caller invoke span
+// sharing its link and rewrites the peer subtree's request IDs to the
+// caller's, resolving chains so nested cross-server calls collapse into the
+// originating root's tree. Links are fleet-unique, so the pairing — and
+// with it the merged result — is deterministic.
+func stitch(spans []Span) {
+	callers := make(map[uint64]uint64) // link -> caller invoke span ID
+	for i := range spans {
+		if s := &spans[i]; s.Link != 0 && s.Parent != 0 {
+			callers[s.Link] = s.ID
+		}
+	}
+	reqMap := make(map[uint64]uint64) // envelope Req -> caller Req
+	for i := range spans {
+		s := &spans[i]
+		if s.Link == 0 || s.Parent != 0 {
+			continue
+		}
+		if cid, ok := callers[s.Link]; ok {
+			s.Parent = cid
+			reqMap[s.Req] = spans[cid-1].Req
+		}
+	}
+	if len(reqMap) == 0 {
+		return
+	}
+	for i := range spans {
+		req := spans[i].Req
+		// Chains terminate: each hop moves to an earlier caller's tree.
+		for {
+			next, ok := reqMap[req]
+			if !ok {
+				break
+			}
+			req = next
+		}
+		spans[i].Req = req
+	}
 }

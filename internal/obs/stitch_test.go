@@ -1,0 +1,242 @@
+// Unit tests for cross-server stitching and tail exemplars on hand-built
+// span trees, where every expected ID, parent, and attribution is computable
+// by inspection (the fleet integration lives in internal/fleet).
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"umanycore/internal/obs"
+	"umanycore/internal/sim"
+)
+
+// TestMergeStitchesRemoteSubtree builds the minimal two-server trace by hand:
+// server 0 records a root whose child invocation shipped to server 1, server 1
+// records the served subtree under a link-tagged envelope. Merge must produce
+// one tree — envelope reparented under the caller's invoke span, request IDs
+// unified — and Analyze must attribute the peer's work to server 1 exactly.
+func TestMergeStitchesRemoteSubtree(t *testing.T) {
+	const link = 77
+
+	c0 := obs.NewCollector() // caller server
+	root := c0.StartRoot(1, 0, 100)
+	inv := c0.Start(root, obs.StageInvoke, 5, 200)
+	c0.SetLink(inv, link)
+	c0.Add(inv, obs.StageNet, 200, 300) // outbound wire leg
+	c0.Add(inv, obs.StageNet, 800, 900) // return wire leg
+	c0.End(inv, 900)
+	c0.End(root, 1000)
+
+	c1 := obs.NewCollector() // peer server
+	env := c1.StartRemote(1, link, 5, 320)
+	c1.AddOnCore(env, obs.StageService, 3, 330, 700)
+	c1.End(env, 750)
+
+	merged := obs.Merge([]*obs.Run{{Spans: c0.Spans()}, {Spans: c1.Spans()}})
+	spans := merged.Spans
+	if len(spans) != 6 {
+		t.Fatalf("merged %d spans, want 6", len(spans))
+	}
+	var invID, envID uint64
+	for i, s := range spans {
+		if s.ID != uint64(i)+1 {
+			t.Fatalf("span %d has ID %d, want dense IDs", i, s.ID)
+		}
+		if s.Req != 1 {
+			t.Fatalf("span %d kept request ID %d after stitching, want 1", s.ID, s.Req)
+		}
+		if s.Link == link {
+			if s.Server == 0 {
+				invID = s.ID
+			} else {
+				envID = s.ID
+			}
+		}
+	}
+	if invID == 0 || envID == 0 {
+		t.Fatalf("link-tagged pair not found (caller %d, envelope %d)", invID, envID)
+	}
+	envSp := spans[envID-1]
+	if envSp.Parent != invID {
+		t.Fatalf("envelope parent = %d, want caller invoke span %d", envSp.Parent, invID)
+	}
+	if envSp.Server != 1 || envSp.Stage != obs.StageInvoke {
+		t.Fatalf("envelope mis-tagged: %+v", envSp)
+	}
+
+	rep := obs.Analyze(spans, 1)
+	if rep.Total != 1 {
+		t.Fatalf("analyzed %d requests, want 1", rep.Total)
+	}
+	if rep.Residual() != 0 {
+		t.Fatalf("stitched tree residual = %v, want 0", rep.Residual())
+	}
+	if len(rep.ByServerStage) != 2 {
+		t.Fatalf("ByServerStage has %d servers, want 2", len(rep.ByServerStage))
+	}
+	// The peer's compute lands on server 1's StageService: [330, 700].
+	if got := rep.ByServerStage[1][obs.StageService]; got != 370 {
+		t.Fatalf("server 1 service blame = %v, want 370", got)
+	}
+	// Both wire legs stay on the caller's server.
+	if got := rep.ByServerStage[0][obs.StageNet]; got != 200 {
+		t.Fatalf("server 0 net blame = %v, want 200", got)
+	}
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		var sum sim.Time
+		for srv := range rep.ByServerStage {
+			sum += rep.ByServerStage[srv][st]
+		}
+		if sum != rep.ByStage[st] {
+			t.Fatalf("stage %v: per-server sum %v != ByStage %v", st, sum, rep.ByStage[st])
+		}
+	}
+}
+
+// TestMergeStitchesChains: a cross-server call that itself calls a third
+// server. Request-ID rewriting must resolve the chain so every span lands in
+// the originating root's tree, while an envelope with no matching caller
+// stays a parentless foreign subtree.
+func TestMergeStitchesChains(t *testing.T) {
+	const (
+		linkAB   = 1<<40 | 1 // server 0 -> server 1
+		linkBC   = 2<<40 | 1 // server 1 -> server 2
+		orphaned = 9<<40 | 9 // no caller anywhere
+	)
+
+	c0 := obs.NewCollector()
+	root := c0.StartRoot(1, 0, 0)
+	invA := c0.Start(root, obs.StageInvoke, 4, 100)
+	c0.SetLink(invA, linkAB)
+	c0.End(invA, 900)
+	c0.End(root, 1000)
+
+	c1 := obs.NewCollector()
+	envB := c1.StartRemote(1, linkAB, 4, 200)
+	invC := c1.Start(envB, obs.StageInvoke, 6, 250)
+	c1.SetLink(invC, linkBC)
+	c1.End(invC, 750)
+	c1.End(envB, 800)
+
+	c2 := obs.NewCollector()
+	envD := c2.StartRemote(1, linkBC, 6, 300)
+	c2.AddOnCore(envD, obs.StageService, 0, 350, 650)
+	c2.End(envD, 700)
+	orphan := c2.StartRemote(2, orphaned, 9, 400)
+	c2.End(orphan, 500)
+
+	merged := obs.Merge([]*obs.Run{
+		{Spans: c0.Spans()}, {Spans: c1.Spans()}, {Spans: c2.Spans()},
+	})
+	byLink := func(link uint64, server int32) *obs.Span {
+		for i := range merged.Spans {
+			if merged.Spans[i].Link == uint64(link) && merged.Spans[i].Server == server {
+				return &merged.Spans[i]
+			}
+		}
+		t.Fatalf("no span with link %d on server %d", link, server)
+		return nil
+	}
+	callerA := byLink(linkAB, 0)
+	envOn1 := byLink(linkAB, 1)
+	callerC := byLink(linkBC, 1)
+	envOn2 := byLink(linkBC, 2)
+	if envOn1.Parent != callerA.ID {
+		t.Fatalf("first hop not stitched: envelope parent %d, want %d", envOn1.Parent, callerA.ID)
+	}
+	if envOn2.Parent != callerC.ID {
+		t.Fatalf("second hop not stitched: envelope parent %d, want %d", envOn2.Parent, callerC.ID)
+	}
+	rootReq := merged.Spans[0].Req
+	for _, s := range merged.Spans {
+		if s.Link == orphaned || (s.Parent == 0 && s.Stage == obs.StageInvoke) {
+			continue
+		}
+		if s.Req != rootReq {
+			t.Fatalf("span %d kept request ID %d after chain resolution, want %d", s.ID, s.Req, rootReq)
+		}
+	}
+	orphanSp := byLink(orphaned, 2)
+	if orphanSp.Parent != 0 {
+		t.Fatalf("orphan envelope acquired parent %d", orphanSp.Parent)
+	}
+	if orphanSp.Req == rootReq {
+		t.Fatal("orphan envelope absorbed into the root's request")
+	}
+	if rep := obs.Analyze(merged.Spans, 1); rep.Residual() != 0 {
+		t.Fatalf("chained tree residual = %v, want 0", rep.Residual())
+	}
+}
+
+// TestExemplarsSelection pins the selection rules on a hand-built trace:
+// slowest first with request-ID tie-breaks, open/rejected/foreign roots
+// excluded, subtree grouping by request ID, and distinct-server counting.
+func TestExemplarsSelection(t *testing.T) {
+	spans := []obs.Span{
+		{ID: 1, Req: 1, Stage: obs.StageRequest, Start: 0, End: 100},
+		{ID: 2, Req: 2, Stage: obs.StageRequest, Start: 0, End: 300},
+		{ID: 3, Req: 2, Parent: 2, Stage: obs.StageService, Server: 1, Start: 50, End: 250},
+		{ID: 4, Req: 3, Stage: obs.StageRequest, Start: 100, End: 400}, // dur 300: ties req 2, loses on Req
+		{ID: 5, Req: 4, Stage: obs.StageRequest, Start: 0},             // open: excluded
+		{ID: 6, Req: 5, Stage: obs.StageRequest, Start: 0, End: 900, Flags: obs.FlagRejected},
+		{ID: 7, Req: 6, Stage: obs.StageInvoke, Link: 9, Start: 0, End: 900}, // unstitched envelope: not a root
+	}
+
+	if got := obs.Exemplars(spans, 0); got != nil {
+		t.Fatalf("k=0 returned %d exemplars", len(got))
+	}
+	xs := obs.Exemplars(spans, 2)
+	if len(xs) != 2 || xs[0].Req != 2 || xs[1].Req != 3 {
+		t.Fatalf("top-2 = %+v, want requests 2 then 3", xs)
+	}
+	if xs[0].Latency != 300 || xs[0].SvcID != 0 {
+		t.Fatalf("exemplar 0 = %+v", xs[0])
+	}
+	if len(xs[0].Spans) != 2 || xs[0].Spans[1].ID != 3 {
+		t.Fatalf("request 2's subtree not grouped: %+v", xs[0].Spans)
+	}
+	if xs[0].Servers != 2 || xs[1].Servers != 1 {
+		t.Fatalf("server counts = %d, %d; want 2, 1", xs[0].Servers, xs[1].Servers)
+	}
+
+	// k beyond the clean-root count clamps; excluded roots never appear.
+	all := obs.Exemplars(spans, 10)
+	if len(all) != 3 {
+		t.Fatalf("k=10 returned %d exemplars, want 3 clean roots", len(all))
+	}
+	if all[2].Req != 1 {
+		t.Fatalf("slowest-first order broken: %+v", all)
+	}
+
+	if got := len(obs.ExemplarSpans(xs)); got != 3 {
+		t.Fatalf("ExemplarSpans flattened %d spans, want 3", got)
+	}
+
+	var buf bytes.Buffer
+	if err := obs.WriteExemplarsJSON(&buf, xs); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		K         int `json:"k"`
+		Exemplars []struct {
+			Req       uint64  `json:"req"`
+			LatencyUS float64 `json:"latency_us"`
+			Servers   int     `json:"servers"`
+			Spans     []struct {
+				Stage string `json:"stage"`
+			} `json:"spans"`
+		} `json:"exemplars"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exemplar JSON invalid: %v\n%s", err, buf.Bytes())
+	}
+	if doc.K != 2 || len(doc.Exemplars) != 2 {
+		t.Fatalf("JSON k=%d with %d exemplars, want 2", doc.K, len(doc.Exemplars))
+	}
+	if doc.Exemplars[0].Req != 2 || doc.Exemplars[0].Servers != 2 ||
+		len(doc.Exemplars[0].Spans) != 2 || doc.Exemplars[0].Spans[1].Stage != "service" {
+		t.Fatalf("JSON exemplar 0 = %+v", doc.Exemplars[0])
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"umanycore/internal/sim"
 )
@@ -62,6 +63,76 @@ type Net interface {
 	// quiescent — the hook for cross-shard state snapshots (e.g. a load
 	// balancer's stale queue views).
 	Run(horizon sim.Time, post func(barrier sim.Time))
+	// Stats reports the fabric's self-observability counters accumulated so
+	// far. Safe to call between windows (from a Run post hook) and after Run.
+	Stats() Stats
+}
+
+// Stats is the fabric's self-observability: how the conservative-window
+// machinery behaved during Run. Every field except the two wall-clock ones
+// is a deterministic function of the model — identical across shard-worker
+// counts and, for the scalar aggregates, identical between Fabric and the
+// SingleEngine reference. The per-shard slices are nil on SingleEngine
+// (logical shards share one heap; per-shard execution is not meaningful).
+type Stats struct {
+	// Shards is the number of (logical) shards coupled.
+	Shards int
+	// Lookahead is the conservative window bound L.
+	Lookahead sim.Time
+	// Rounds counts synchronization windows executed.
+	Rounds uint64
+	// MessagesSent counts cross-shard sends.
+	MessagesSent uint64
+	// MessagesDelivered counts messages handed to destination engines at
+	// barriers (== MessagesSent once Run drains the mailboxes).
+	MessagesDelivered uint64
+	// WindowEvents counts engine events fired inside windows.
+	WindowEvents uint64
+	// AdvanceSum accumulates each window's virtual width (limit - M). With
+	// Rounds and Lookahead it yields the lookahead utilization: how much of
+	// the permitted L each window actually used.
+	AdvanceSum sim.Time
+	// ShardWindows[i] counts windows in which shard i had events to run
+	// (it was "active"); skipped windows cost a shard nothing.
+	ShardWindows []uint64
+	// ShardEvents[i] counts events shard i fired inside windows.
+	ShardEvents []uint64
+	// BarrierWaitSeconds is coordinator wall time spent inside parallel
+	// window execution — the barrier the slowest shard sets. Wall clock:
+	// excluded from the determinism contract, 0 without a worker pool.
+	BarrierWaitSeconds float64
+	// WorkerBusySeconds is total wall time pool workers spent running
+	// shards. Wall clock: excluded from the determinism contract, 0 without
+	// a worker pool.
+	WorkerBusySeconds float64
+}
+
+// EventsPerWindow is the mean number of events a window executed.
+func (st *Stats) EventsPerWindow() float64 {
+	if st.Rounds == 0 {
+		return 0
+	}
+	return float64(st.WindowEvents) / float64(st.Rounds)
+}
+
+// LookaheadUtilization is the mean fraction of the permitted lookahead L
+// that windows actually advanced — 1.0 means every window spanned the full
+// L; lower values mean horizon clamping or sparse activity jumps.
+func (st *Stats) LookaheadUtilization() float64 {
+	if st.Rounds == 0 || st.Lookahead <= 0 {
+		return 0
+	}
+	return float64(st.AdvanceSum) / (float64(st.Rounds) * float64(st.Lookahead))
+}
+
+// BusyFraction is the fraction of parallel-execution wall time that workers
+// spent running shards, given the pool size: 1.0 means perfectly balanced
+// windows, low values mean workers idling at barriers. 0 without a pool.
+func (st *Stats) BusyFraction(workers int) float64 {
+	if workers <= 0 || st.BarrierWaitSeconds <= 0 {
+		return 0
+	}
+	return st.WorkerBusySeconds / (float64(workers) * st.BarrierWaitSeconds)
 }
 
 // message is one cross-shard event: fn runs on the destination shard at
@@ -93,6 +164,7 @@ func byCanonicalOrder(ms []message) {
 // shard is one partition of the simulation: an engine, an inbox of
 // undelivered messages, and an outbox filled while the shard runs.
 type shard struct {
+	id  int
 	eng *sim.Engine
 	// inbox holds messages not yet delivered; inboxMin caches the earliest
 	// timestamp in it (maxTime when empty) so the per-round minimum scan is
@@ -104,8 +176,12 @@ type shard struct {
 	// between windows.
 	out []message
 	// seq numbers this shard's sends, giving same-timestamp messages from
-	// one sender a deterministic relative order.
+	// one sender a deterministic relative order (and, as a side effect,
+	// counting them for Stats).
 	seq uint64
+	// firedBase snapshots the engine's fired-event counter when a window
+	// starts, so the coordinator can charge the delta to this shard.
+	firedBase uint64
 }
 
 // nextActivity is the earliest thing this shard could do: its engine's next
@@ -119,8 +195,9 @@ func (s *shard) nextActivity() sim.Time {
 }
 
 // deliver schedules every inbox message with at <= limit onto the engine in
-// canonical (at, src, seq) order and retains the rest.
-func (s *shard) deliver(limit sim.Time) {
+// canonical (at, src, seq) order and retains the rest, returning how many
+// it delivered.
+func (s *shard) deliver(limit sim.Time) uint64 {
 	var due []message
 	kept := s.inbox[:0]
 	min := maxTime
@@ -139,6 +216,7 @@ func (s *shard) deliver(limit sim.Time) {
 	for _, m := range due {
 		s.eng.At(m.at, m.fn)
 	}
+	return uint64(len(due))
 }
 
 // Fabric couples shards that each own a distinct engine and advances them
@@ -149,6 +227,16 @@ type Fabric struct {
 	workers   int
 	shards    []*shard
 	rounds    uint64
+	// Self-observability accumulators; the coordinator owns all of them
+	// (workers report busy time through the pool's atomic, folded in after
+	// each window), so no synchronization beyond the pool's is needed.
+	delivered     uint64
+	windowEvents  uint64
+	advanceSum    sim.Time
+	shardWindows  []uint64
+	shardEvents   []uint64
+	barrierWaitNS int64
+	workerBusyNS  int64
 }
 
 // NewFabric returns a fabric with the given lookahead (the minimum
@@ -169,7 +257,9 @@ func (f *Fabric) AddShard(eng *sim.Engine) int {
 			panic("pdes: engine added to fabric twice; shards must own distinct engines")
 		}
 	}
-	f.shards = append(f.shards, &shard{eng: eng, inboxMin: maxTime})
+	f.shards = append(f.shards, &shard{id: len(f.shards), eng: eng, inboxMin: maxTime})
+	f.shardWindows = append(f.shardWindows, 0)
+	f.shardEvents = append(f.shardEvents, 0)
 	return len(f.shards) - 1
 }
 
@@ -178,6 +268,26 @@ func (f *Fabric) Lookahead() sim.Time { return f.lookahead }
 
 // Rounds reports how many synchronization windows Run has executed.
 func (f *Fabric) Rounds() uint64 { return f.rounds }
+
+// Stats implements Net. The per-shard slices are snapshots (safe to retain).
+func (f *Fabric) Stats() Stats {
+	st := Stats{
+		Shards:             len(f.shards),
+		Lookahead:          f.lookahead,
+		Rounds:             f.rounds,
+		MessagesDelivered:  f.delivered,
+		WindowEvents:       f.windowEvents,
+		AdvanceSum:         f.advanceSum,
+		ShardWindows:       append([]uint64(nil), f.shardWindows...),
+		ShardEvents:        append([]uint64(nil), f.shardEvents...),
+		BarrierWaitSeconds: float64(f.barrierWaitNS) / 1e9,
+		WorkerBusySeconds:  float64(f.workerBusyNS) / 1e9,
+	}
+	for _, s := range f.shards {
+		st.MessagesSent += s.seq
+	}
+	return st
+}
 
 // Send implements Net. Called from model code running on shard src.
 func (f *Fabric) Send(src, dst int, at sim.Time, fn func()) {
@@ -237,10 +347,11 @@ func (f *Fabric) Run(horizon sim.Time, post func(barrier sim.Time)) {
 		active = active[:0]
 		for _, s := range f.shards {
 			if s.inboxMin <= limit {
-				s.deliver(limit)
+				f.delivered += s.deliver(limit)
 			}
 			if at, ok := s.eng.NextEventAt(); ok && at <= limit {
 				active = append(active, s)
+				s.firedBase = s.eng.Fired()
 			}
 		}
 		if pool == nil || len(active) <= 1 {
@@ -248,9 +359,20 @@ func (f *Fabric) Run(horizon sim.Time, post func(barrier sim.Time)) {
 				s.eng.RunUntil(limit)
 			}
 		} else {
+			t0 := time.Now()
+			busy0 := pool.busyNS.Load()
 			pool.run(active, limit)
+			f.barrierWaitNS += time.Since(t0).Nanoseconds()
+			f.workerBusyNS += pool.busyNS.Load() - busy0
+		}
+		for _, s := range active {
+			fired := s.eng.Fired() - s.firedBase
+			f.windowEvents += fired
+			f.shardEvents[s.id] += fired
+			f.shardWindows[s.id]++
 		}
 		f.rounds++
+		f.advanceSum += limit - m
 		if post != nil {
 			post(limit)
 		}
@@ -269,6 +391,10 @@ type workerPool struct {
 	idx    atomic.Int64
 	active []*shard
 	limit  sim.Time
+	// busyNS accumulates wall time workers spent inside RunUntil — the
+	// numerator of the pool's busy fraction. Wall clock only; never feeds
+	// back into the simulation.
+	busyNS atomic.Int64
 }
 
 func startPool(n int) *workerPool {
@@ -278,6 +404,7 @@ func startPool(n int) *workerPool {
 		p.wake[i] = ch
 		go func() {
 			for range ch {
+				t0 := time.Now()
 				for {
 					j := int(p.idx.Add(1)) - 1
 					if j >= len(p.active) {
@@ -285,6 +412,7 @@ func startPool(n int) *workerPool {
 					}
 					p.active[j].eng.RunUntil(p.limit)
 				}
+				p.busyNS.Add(time.Since(t0).Nanoseconds())
 				p.wg.Done()
 			}
 		}()
@@ -328,6 +456,12 @@ type SingleEngine struct {
 	inbox     []message
 	inboxMin  sim.Time
 	rounds    uint64
+	// Self-observability mirrors of Fabric's scalar aggregates — the same
+	// windows, deliveries, and event counts by construction, so Stats()
+	// matches the sharded fabric's deterministic fields exactly.
+	delivered    uint64
+	windowEvents uint64
+	advanceSum   sim.Time
 }
 
 // NewSingleEngine returns the reference coupling over eng with nshards
@@ -341,6 +475,23 @@ func NewSingleEngine(lookahead sim.Time, eng *sim.Engine, nshards int) *SingleEn
 
 // Rounds reports how many synchronization windows Run has executed.
 func (se *SingleEngine) Rounds() uint64 { return se.rounds }
+
+// Stats implements Net. Per-shard execution slices are nil: logical shards
+// share one event heap, so "which shard ran this window" is not meaningful.
+func (se *SingleEngine) Stats() Stats {
+	st := Stats{
+		Shards:            len(se.seqs),
+		Lookahead:         se.lookahead,
+		Rounds:            se.rounds,
+		MessagesDelivered: se.delivered,
+		WindowEvents:      se.windowEvents,
+		AdvanceSum:        se.advanceSum,
+	}
+	for _, n := range se.seqs {
+		st.MessagesSent += n
+	}
+	return st
+}
 
 // Send implements Net with the same causality guard as Fabric.
 func (se *SingleEngine) Send(src, dst int, at sim.Time, fn func()) {
@@ -371,9 +522,12 @@ func (se *SingleEngine) Run(horizon sim.Time, post func(barrier sim.Time)) {
 		if limit > horizon || limit < m {
 			limit = horizon
 		}
-		se.deliver(limit)
+		se.delivered += se.deliver(limit)
+		firedBase := se.eng.Fired()
 		se.eng.RunUntil(limit)
+		se.windowEvents += se.eng.Fired() - firedBase
 		se.rounds++
+		se.advanceSum += limit - m
 		if post != nil {
 			post(limit)
 		}
@@ -384,7 +538,7 @@ func (se *SingleEngine) Run(horizon sim.Time, post func(barrier sim.Time)) {
 // deliver mirrors shard.deliver on the shared mailbox: the global canonical
 // sort keeps each destination's subsequence in (at, src, seq) order, which
 // is all the per-engine semantics require.
-func (se *SingleEngine) deliver(limit sim.Time) {
+func (se *SingleEngine) deliver(limit sim.Time) uint64 {
 	var due []message
 	kept := se.inbox[:0]
 	min := maxTime
@@ -403,4 +557,5 @@ func (se *SingleEngine) deliver(limit sim.Time) {
 	for _, m := range due {
 		se.eng.At(m.at, m.fn)
 	}
+	return uint64(len(due))
 }

@@ -51,9 +51,15 @@ type Options struct {
 	Rules []Rule
 	// NoEngineVitals suppresses the sim.events / sim.pending series. Set it
 	// on all but one sampler when several samplers share one engine (the
-	// coupled fleet runs one per server), so the merged engine series counts
-	// the engine once instead of once per server.
+	// single-engine reference fleet runs one per server on a shared engine),
+	// so the merged engine series counts the engine once instead of once per
+	// server.
 	NoEngineVitals bool
+	// VitalsPrefix namespaces the engine-vitals series names (e.g.
+	// "server3." yields "server3.sim.events" / "server3.sim.pending"). The
+	// sharded fleet sets it per server so each private engine's vitals stay
+	// distinguishable after the merge. Ignored when NoEngineVitals is set.
+	VitalsPrefix string
 }
 
 // DefaultOptions returns the default sampling configuration (1ms interval,

@@ -31,10 +31,12 @@ else
     go test -race -timeout 30m ./...
 fi
 
-# The observability merge path, the sweep runner, the cell cache, the
+# The observability merge/stitch path, the sweep runner, the cell cache, the
 # streaming-telemetry layer, the PDES fabric, and the coupled fleet carry
 # the repo's determinism/race contracts; race-check them on every run,
-# quick included.
+# quick included. The fleet package includes the cross-server trace-stitching
+# tests (TestFleetStitchedTracing, TestStitchedObsShardWorkerDeterminism),
+# which exercise obs.Merge against the concurrent worker pool.
 echo "== go test -race (obs + sweep + sweepcache + telemetry + pdes + fleet) =="
 go test -race -short ./internal/obs/... ./internal/sweep/... ./internal/sweepcache/... ./internal/telemetry/... ./internal/pdes/... ./internal/fleet/...
 
@@ -53,17 +55,24 @@ cmp "$cachedir/cold.json" "$cachedir/warm.json"
 cmp "$cachedir/cold.json" "$cachedir/verify.json"
 echo "cache cold/warm/verify byte-identical"
 
-# Shard-worker gate: the coupled fleet must emit byte-identical JSON whether
-# its per-server engines advance on 1 shard worker or 4 — the end-to-end
-# version of the PDES determinism contract, through the real CLI.
+# Shard-worker gate: the coupled fleet must emit byte-identical JSON and tail
+# exemplars whether its per-server engines advance on 1 shard worker or 4 —
+# the end-to-end version of the PDES determinism contract, through the real
+# CLI. wall_seconds is the one wall-clock field of the JSON output; normalize
+# it before comparing (everything else is virtual-time deterministic).
 echo "== fleet 1-vs-4 shard workers =="
 go build -o "$cachedir/umprof" ./cmd/umprof
 "$cachedir/umprof" -app Text -rps 24000 -duration 40ms -warmup 10ms \
-    -servers 6 -lb p2c -skew 1,1,1,2,1,3 -shard-workers 1 -json >"$cachedir/shard1.json"
+    -servers 6 -lb p2c -skew 1,1,1,2,1,3 -shard-workers 1 -json -fabric \
+    -exemplars "$cachedir/ex1.json" \
+    | sed -E 's/"wall_seconds":[0-9.eE+-]+/"wall_seconds":0/' >"$cachedir/shard1.json"
 "$cachedir/umprof" -app Text -rps 24000 -duration 40ms -warmup 10ms \
-    -servers 6 -lb p2c -skew 1,1,1,2,1,3 -shard-workers 4 -json >"$cachedir/shard4.json"
+    -servers 6 -lb p2c -skew 1,1,1,2,1,3 -shard-workers 4 -json -fabric \
+    -exemplars "$cachedir/ex4.json" \
+    | sed -E 's/"wall_seconds":[0-9.eE+-]+/"wall_seconds":0/' >"$cachedir/shard4.json"
 cmp "$cachedir/shard1.json" "$cachedir/shard4.json"
-echo "shard workers 1 vs 4 byte-identical"
+cmp "$cachedir/ex1.json" "$cachedir/ex4.json"
+echo "shard workers 1 vs 4 byte-identical (json + exemplars)"
 
 echo "== bench smoke (allocation + sweep + telemetry benchmarks, 1 iteration) =="
 go test -run xxx -bench 'BenchmarkEngine|BenchmarkMachineRun' -benchtime 1x \

@@ -31,6 +31,7 @@ import (
 	"umanycore/internal/fleet"
 	"umanycore/internal/machine"
 	"umanycore/internal/obs"
+	"umanycore/internal/pdes"
 	"umanycore/internal/power"
 	"umanycore/internal/sim"
 	"umanycore/internal/stats"
@@ -138,6 +139,9 @@ type (
 	// Balancer routes fleet arrivals to servers (see fleet.ParseLB for the
 	// built-in policies: rr, rand, least, p2c).
 	Balancer = fleet.Balancer
+	// FabricStats is the PDES coupling's self-observability (windows,
+	// messages, lookahead utilization; FleetResult.Fabric on coupled runs).
+	FabricStats = pdes.Stats
 )
 
 // Experiment types.
