@@ -7,10 +7,15 @@
 //	        [-figures 1,2,3,...] [-json FILE]
 //	        [-cache DIR] [-cache-verify] [-cache-clear]
 //
-// Figure names: 1 2 3 4 5 6 7 8 9 e2e 15 18 19 20 68 power lb scale.
+// Figure names: 1 2 3 4 5 6 7 8 9 e2e 15 18 19 20 68 power lb scale whatif.
 // Default: all. -parallel bounds the sweep worker pool (default: all cores)
 // and -shard-workers the per-fleet PDES worker pool; output is bit-identical
 // for any value of either.
+//
+// -baseline FILE diffs this run's figure rows (the -json payload) against a
+// checked-in baseline JSON (e.g. BENCH_lb_baseline.json), prints per-metric
+// Δ%, appends a trajectory point to FILE.trajectory.jsonl, and exits
+// nonzero when any |Δ| exceeds -baseline-threshold (unless -baseline-warn).
 //
 // -cache DIR keeps a content-addressed store of finished sweep cells, so an
 // interrupted or re-run regeneration only simulates cells whose inputs
@@ -43,7 +48,10 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	parallel := flag.Int("parallel", 0, "sweep workers (<=0: all cores); results are identical for any value")
 	shardWorkers := flag.Int("shard-workers", 0, "PDES shard workers per coupled fleet (0/1: sequential, -1: single-engine reference); results are identical for any value")
-	figures := flag.String("figures", "all", "comma-separated figure list (1..9, e2e, 15, 18, 19, 20, 68, power, lb, scale)")
+	figures := flag.String("figures", "all", "comma-separated figure list (1..9, e2e, 15, 18, 19, 20, 68, power, lb, scale, whatif)")
+	baseline := flag.String("baseline", "", "diff this run's figure rows against a checked-in baseline JSON FILE and exit nonzero past -baseline-threshold")
+	baselineThreshold := flag.Float64("baseline-threshold", 5, "max |delta| percent tolerated by -baseline before failing")
+	baselineWarn := flag.Bool("baseline-warn", false, "report -baseline drift without failing (warn-only)")
 	serve := flag.String("serve", "", "serve live /metrics, /healthz, /progress (sweep cells done + ETA) and pprof on this address during the regeneration (e.g. :9090)")
 	cacheDir := flag.String("cache", "", "content-addressed sweep-cell cache directory (created if missing); re-runs skip cells already simulated with identical inputs")
 	cacheVerify := flag.Bool("cache-verify", false, "recompute cached cells and fail if any recomputation does not reproduce the cached bytes (requires -cache)")
@@ -95,7 +103,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *figures == "all" {
-		for _, f := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "e2e", "15", "18", "19", "20", "68", "power", "lb", "scale"} {
+		for _, f := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "e2e", "15", "18", "19", "20", "68", "power", "lb", "scale", "whatif"} {
 			want[f] = true
 		}
 	} else {
@@ -126,6 +134,7 @@ func main() {
 		{"power", func() { powerTable() }},
 		{"lb", func() { fleetLB(o) }},
 		{"scale", func() { fleetScale(o) }},
+		{"whatif", func() { whatIfFig(o) }},
 	}
 	workers := sweep.Workers(o.Parallel)
 	var totalWall, totalBusy time.Duration
@@ -154,6 +163,13 @@ func main() {
 			for _, l := range lines {
 				fmt.Fprintln(os.Stderr, "umbench: verify mismatch:", l)
 			}
+			os.Exit(1)
+		}
+	}
+
+	if *baseline != "" {
+		if err := diffBaseline(*baseline, capturedRows, *baselineThreshold, *baselineWarn); err != nil {
+			fmt.Fprintln(os.Stderr, "umbench:", err)
 			os.Exit(1)
 		}
 	}
@@ -186,6 +202,10 @@ var ascii bool
 // jsonOut, when non-empty, is where endToEnd writes its machine-readable
 // grid (set by the -json flag).
 var jsonOut string
+
+// capturedRows holds the last row-producing figure's rows so -baseline can
+// diff them against a checked-in file after the run.
+var capturedRows any
 
 func header(title string) {
 	fmt.Println()
@@ -298,6 +318,7 @@ func endToEnd(o umanycore.ExperimentOptions) {
 				metric, red.Baseline, red.ByLoad[5000], red.ByLoad[10000], red.ByLoad[15000])
 		}
 	}
+	capturedRows = rows
 	if jsonOut != "" {
 		if err := writeRowsJSON(jsonOut, rows); err != nil {
 			fmt.Fprintln(os.Stderr, "umbench:", err)
@@ -408,6 +429,7 @@ func fleetLB(o umanycore.ExperimentOptions) {
 		fmt.Printf("%-7s %10.0f %10.1f %10.1f %10.2f %10d %10d\n",
 			r.Policy, r.PerServerRPS, r.MeanMicros, r.P99Micros, r.TailToAvg, r.Rejected, r.RemoteServed)
 	}
+	capturedRows = rows
 	if jsonOut != "" {
 		if err := writeRowsJSON(jsonOut, rows); err != nil {
 			fmt.Fprintln(os.Stderr, "umbench:", err)
@@ -425,6 +447,26 @@ func fleetScale(o umanycore.ExperimentOptions) {
 		fmt.Printf("%-7s %8d %12.0f %10.1f %10.1f %10.2f %10d %12d\n",
 			r.Policy, r.Servers, r.TotalRPS, r.MeanMicros, r.P99Micros, r.TailToAvg, r.Rejected, r.EventsProcessed)
 	}
+	capturedRows = rows
+	if jsonOut != "" {
+		if err := writeRowsJSON(jsonOut, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "umbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func whatIfFig(o umanycore.ExperimentOptions) {
+	rows := umanycore.WhatIf(o)
+	header("What-if causal profile: virtual stage speedups at the top load (HomeT), blame share vs actual P99 payoff")
+	fmt.Printf("%-15s %-10s %7s %11s %11s %11s %8s %9s  %s\n",
+		"arch", "stage", "factor", "dmean [us]", "dp99 [us]", "dp99.9[us]", "blame%", "payoff%", "top migration")
+	for _, r := range rows {
+		fmt.Printf("%-15s %-10s %7.2f %+11.1f %+11.1f %+11.1f %7.1f%% %8.1f%%  %s %+.1fpp\n",
+			r.Arch, r.Stage, r.Factor, r.DMeanMicros, r.DP99Micros, r.DP999Micros,
+			100*r.BlameShare, 100*r.PayoffP99, r.TopMover, 100*r.TopMoverDeltaShare)
+	}
+	capturedRows = rows
 	if jsonOut != "" {
 		if err := writeRowsJSON(jsonOut, rows); err != nil {
 			fmt.Fprintln(os.Stderr, "umbench:", err)

@@ -118,6 +118,66 @@ func TestE2EJSONGolden(t *testing.T) {
 	}
 }
 
+// TestDiffBaseline exercises the -baseline comparator on constructed rows:
+// identical rows pass, drift past the threshold fails (unless warn-only),
+// vanished metrics fail, and every comparison appends a trajectory point.
+func TestDiffBaseline(t *testing.T) {
+	type row struct {
+		Policy    string  `json:"policy"`
+		P99Micros float64 `json:"p99_us"`
+		Rejected  int     `json:"rejected"`
+	}
+	base := []row{{"rr", 1000, 0}, {"p2c", 800, 2}}
+	path := t.TempDir() + "/BENCH_test_baseline.json"
+	if err := writeRowsJSON(path, base); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := diffBaseline(path, base, 5, false); err != nil {
+		t.Fatalf("identical rows failed: %v", err)
+	}
+	drifted := []row{{"rr", 1200, 0}, {"p2c", 800, 2}}
+	if err := diffBaseline(path, drifted, 5, false); err == nil {
+		t.Fatal("20% p99 drift passed a 5% threshold")
+	}
+	if err := diffBaseline(path, drifted, 5, true); err != nil {
+		t.Fatalf("warn-only still failed: %v", err)
+	}
+	if err := diffBaseline(path, drifted, 25, false); err != nil {
+		t.Fatalf("20%% drift failed a 25%% threshold: %v", err)
+	}
+	if err := diffBaseline(path, base[:1], 5, false); err == nil {
+		t.Fatal("missing row passed")
+	}
+	renamed := []row{{"least", 1000, 0}, {"p2c", 800, 2}}
+	if err := diffBaseline(path, renamed, 5, false); err == nil {
+		t.Fatal("changed string field passed")
+	}
+
+	traj, err := os.ReadFile(path + ".trajectory.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(traj), "\n"); lines != 6 {
+		t.Fatalf("trajectory has %d points, want 6:\n%s", lines, traj)
+	}
+	if !strings.Contains(string(traj), `"worst_path":"[0].p99_us"`) {
+		t.Fatalf("trajectory missing worst path:\n%s", traj)
+	}
+}
+
+// TestBaselineNeedsRowsExit pins the clean error when -baseline is given
+// without a row-producing figure.
+func TestBaselineNeedsRowsExit(t *testing.T) {
+	_, stderr, code := runMain(t, "-figures", "power", "-baseline", "nonexistent.json")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %q)", code, stderr)
+	}
+	if !strings.Contains(stderr, "row-producing figure") {
+		t.Fatalf("stderr %q", stderr)
+	}
+}
+
 func TestBadServeAddrExits(t *testing.T) {
 	_, stderr, code := runMain(t, "-serve", "not/an/addr", "-figures", "power")
 	if code != 2 {

@@ -12,6 +12,8 @@
 //	umprof -arch umanycore -mix -rps 20000 -top 5
 //	umprof -app HomeT -rps 12000 -trace out.json -spans spans.csv
 //	umprof -servers 10 -rps 100000 -json
+//	umprof -whatif -app HomeT -rps 12000
+//	umprof -whatif -whatif-stages rpc-proc,storage -whatif-factors 0.5,0 -json
 package main
 
 import (
@@ -24,10 +26,12 @@ import (
 
 	"umanycore"
 	"umanycore/internal/fleet"
+	"umanycore/internal/machine"
 	"umanycore/internal/obs"
 	"umanycore/internal/sim"
 	"umanycore/internal/stats"
 	"umanycore/internal/telemetry"
+	"umanycore/internal/whatif"
 	"umanycore/internal/workload"
 )
 
@@ -56,8 +60,17 @@ func main() {
 	sample := flag.Duration("sample", 0, "streaming-telemetry sampling interval (simulated; 0 = off unless -series set)")
 	seriesOut := flag.String("series", "", "write the telemetry time series as CSV to FILE (- = stdout)")
 	serve := flag.String("serve", "", "serve live /metrics, /healthz, /progress and pprof on this address during the run (e.g. :9090)")
+	whatIf := flag.Bool("whatif", false, "causal profiling: run the paired-seed what-if grid of virtual stage speedups instead of one report")
+	whatIfStages := flag.String("whatif-stages", "", "comma-separated stages to virtually accelerate (default: sched,ctxswitch,mem-stall,rpc-proc,storage,net)")
+	whatIfFactors := flag.String("whatif-factors", "", "comma-separated stage cost factors in [0,1], 0 = stage eliminated (default: 0.9,0.75,0.5,0)")
 	flag.Parse()
 
+	if *top <= 0 || *top > 100 {
+		fatal(fmt.Errorf("-top %v is out of range: want a tail percentage in (0, 100]", *top))
+	}
+	if *exemplarsK < 1 {
+		fatal(fmt.Errorf("-exemplars-k %d is out of range: want at least 1 exemplar", *exemplarsK))
+	}
 	cfg, err := buildConfig(*arch, *cores)
 	if err != nil {
 		fatal(err)
@@ -65,6 +78,15 @@ func main() {
 	app, err := buildApp(*appName)
 	if err != nil {
 		fatal(err)
+	}
+	if *whatIf {
+		runWhatIf(cfg, app, whatIfCLI{
+			stages: *whatIfStages, factors: *whatIfFactors,
+			mix: *mix, rps: *rps, duration: *duration, warmup: *warmup,
+			seed: *seed, servers: *servers, lb: *lb, skew: *skew,
+			shardWorkers: *shardWorkers, top: *top, json: *jsonOut,
+		})
+		return
 	}
 	rc := umanycore.RunConfig{
 		App:      app,
@@ -216,6 +238,128 @@ func main() {
 		fmt.Println()
 		writeFabricTable(fres, *shardWorkers)
 	}
+}
+
+// whatIfCLI carries the -whatif flag subset out of main.
+type whatIfCLI struct {
+	stages, factors  string
+	mix              bool
+	rps              float64
+	duration, warmup time.Duration
+	seed             int64
+	servers          int
+	lb, skew         string
+	shardWorkers     int
+	top              float64
+	json             bool
+}
+
+// runWhatIf drives the causal-profiling grid (internal/whatif): the same
+// workload re-simulated under virtual per-stage speedups, reporting each
+// stage's blame share next to the tail improvement actually bought. Output
+// is fully deterministic — byte-identical for any -shard-workers value.
+func runWhatIf(cfg umanycore.Config, app *umanycore.App, cli whatIfCLI) {
+	stages, err := parseWhatIfStages(cli.stages)
+	if err != nil {
+		fatal(err)
+	}
+	factors, err := parseWhatIfFactors(cli.factors)
+	if err != nil {
+		fatal(err)
+	}
+	tg := whatif.Target{
+		App:  app,
+		RPS:  cli.rps,
+		Seed: cli.seed,
+		RC: umanycore.RunConfig{
+			Duration: sim.Time(cli.duration.Nanoseconds()) * umanycore.Nanosecond,
+			Warmup:   sim.Time(cli.warmup.Nanoseconds()) * umanycore.Nanosecond,
+		},
+	}
+	if cli.mix {
+		tg.RC.Mix = umanycore.SocialNetworkMix()
+	}
+	if cli.servers > 0 {
+		fc := umanycore.DefaultFleet(cfg)
+		fc.Servers = cli.servers
+		fc.LB = cli.lb
+		fc.ShardWorkers = cli.shardWorkers
+		if _, err := fleet.ParseLB(cli.lb); err != nil {
+			fatal(err)
+		}
+		if cli.skew != "" {
+			slow, err := parseSkew(cli.skew)
+			if err != nil {
+				fatal(err)
+			}
+			fc.Slowdown = slow
+		}
+		tg.Fleet = &fc
+	} else {
+		tg.Machine = cfg
+	}
+	rep, err := whatif.Run(tg, whatif.Options{
+		Stages:  stages,
+		Factors: factors,
+		TopFrac: cli.top / 100,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if cli.json {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	rep.WriteTable(os.Stdout)
+}
+
+// parseWhatIfStages resolves -whatif-stages names against the accelerable
+// stage set ("" = all of them).
+func parseWhatIfStages(s string) ([]obs.Stage, error) {
+	if s == "" {
+		return nil, nil
+	}
+	accelerable := machine.SpeedupStages()
+	var out []obs.Stage
+	for _, p := range strings.Split(s, ",") {
+		name := strings.TrimSpace(p)
+		found := false
+		for _, st := range accelerable {
+			if strings.EqualFold(name, st.String()) {
+				out = append(out, st)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown what-if stage %q (want one of %v)", name, accelerable)
+		}
+	}
+	return out, nil
+}
+
+// parseWhatIfFactors parses the -whatif-factors ladder ("" = default).
+func parseWhatIfFactors(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, p := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad what-if factor %q: %v", p, err)
+		}
+		if f < 0 {
+			return nil, fmt.Errorf("-whatif-factors %v is negative: factors are stage cost multipliers in [0, 1]", f)
+		}
+		if f > 1 {
+			return nil, fmt.Errorf("-whatif-factors %v is out of range: a factor above 1 would slow the stage down, not speed it up (want [0, 1])", f)
+		}
+		out = append(out, f)
+	}
+	return out, nil
 }
 
 // writeFabricTable prints the PDES fabric's self-observability report: the

@@ -114,6 +114,74 @@ func TestFabricJSONGolden(t *testing.T) {
 	}
 }
 
+// TestWhatIfJSONGolden pins the causal-profiling grid byte for byte: the
+// paired-seed what-if runs are deterministic simulations and the encoder is
+// fixed-field-order with no wall-clock fields, so the whole report only
+// moves when the machine model or wire format deliberately changes.
+func TestWhatIfJSONGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	stdout, stderr, code := runMain(t,
+		"-whatif", "-app", "Text", "-rps", "8000", "-duration", "40ms", "-warmup", "10ms",
+		"-whatif-stages", "sched,net", "-whatif-factors", "0.5,0", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	want := `{"machine":"uManycore","app":"Text","rps":8000,"servers":0,"seed":1,"top_frac":0.01,"factors":[0.5,0],"baseline":{"latency":{"n":219,"mean":516.2658369452055,"p50":507.559109,"p99":781.564295,"max":797.057152},"p999":797.057152,"blame":{"top_frac":0.01,"total":219,"analyzed":3,"cutoff_ps":781564295,"p99_ps":781564295,"total_ps":2365869066,"by_stage_ps":[0,0,3600000,0,216000,2304000,0,0,1098372766,1184513900,76862400,0]}},"rows":[{"stage":"sched","factor":0.5,"cell":{"latency":{"n":219,"mean":515.4405941643836,"p50":507.183771,"p99":728.633378,"max":841.154302},"p999":841.154302,"blame":{"top_frac":0.01,"total":219,"analyzed":3,"cutoff_ps":728633378,"p99_ps":728633378,"total_ps":2303054151,"by_stage_ps":[0,0,3600000,0,108000,2304000,0,0,1244177641,976616510,76248000,0]}},"d_mean_us":-0.8252427808218954,"d_p50_us":-0.3753379999999993,"d_p99_us":-52.93091700000002,"d_p999_us":44.097150000000056,"blame_share":9.129837449761897e-05,"payoff_p99":0.06772432842521295,"migration":[{"stage":"storage","base_share":0.5006675631473851,"variant_share":0.42405277773253713,"d_share":-0.07661478541484801,"d_us":-69.29912999999999},{"stage":"service","base_share":0.46425763022339633,"variant_share":0.540229434231831,"d_share":0.07597180400843467,"d_us":48.60162500000001},{"stage":"net","base_share":0.03248801935178606,"variant_share":0.033107341382699426,"d_share":0.0006193220309133676,"d_us":-0.20479999999999876}]},{"stage":"sched","factor":0,"cell":{"latency":{"n":219,"mean":519.702242552511,"p50":510.21285,"p99":758.322827,"max":854.102512},"p999":854.102512,"blame":{"top_frac":0.01,"total":219,"analyzed":3,"cutoff_ps":758322827,"p99_ps":758322827,"total_ps":2454844001,"by_stage_ps":[0,0,3600000,0,0,2304000,0,0,1161170182,1210907419,76862400,0]}},"d_mean_us":3.4364056073055735,"d_p50_us":2.653741000000025,"d_p99_us":-23.241468000000054,"d_p999_us":57.04536000000007,"blame_share":9.129837449761897e-05,"payoff_p99":0.029737115869654784,"migration":[{"stage":"service","base_share":0.46425763022339633,"variant_share":0.47301180096453715,"d_share":0.008754170741140821,"d_us":20.93247200000002},{"stage":"storage","base_share":0.5006675631473851,"variant_share":0.49327265541383786,"d_share":-0.007394907733547285,"d_us":8.797839666666619},{"stage":"net","base_share":0.03248801935178606,"variant_share":0.031310502813494255,"d_share":-0.0011775165382918035,"d_us":0}]},{"stage":"net","factor":0.5,"cell":{"latency":{"n":219,"mean":498.1436980502281,"p50":479.345866,"p99":758.411693,"max":851.527513},"p999":851.527513,"blame":{"top_frac":0.01,"total":219,"analyzed":3,"cutoff_ps":758411693,"p99_ps":758411693,"total_ps":2379750919,"by_stage_ps":[0,0,3600000,0,216000,2304000,0,0,1224749724,1110757195,38124000,0]}},"d_mean_us":-18.122138894977354,"d_p50_us":-28.213242999999977,"d_p99_us":-23.152602,"d_p999_us":54.470361000000025,"blame_share":0.03248801935178606,"payoff_p99":0.029623413131993192,"migration":[{"stage":"service","base_share":0.46425763022339633,"variant_share":0.5146545859995527,"d_share":0.05039695577615638,"d_us":42.12565266666667},{"stage":"storage","base_share":0.5006675631473851,"variant_share":0.4667535522863685,"d_share":-0.03391401086101664,"d_us":-24.585568333333356},{"stage":"net","base_share":0.03248801935178606,"variant_share":0.016020163999356775,"d_share":-0.016467855352429284,"d_us":-12.912799999999999}]},{"stage":"net","factor":0,"cell":{"latency":{"n":219,"mean":487.96266731050196,"p50":481.9927,"p99":714.505214,"max":775.026842},"p999":775.026842,"blame":{"top_frac":0.01,"total":219,"analyzed":3,"cutoff_ps":714505214,"p99_ps":714505214,"total_ps":2234564988,"by_stage_ps":[0,0,3600000,0,216000,2304000,0,0,1298711179,929733809,0,0]}},"d_mean_us":-28.303169634703522,"d_p50_us":-25.566408999999965,"d_p99_us":-67.05908099999999,"d_p999_us":-22.030309999999986,"blame_share":0.03248801935178606,"payoff_p99":0.08580110610093823,"migration":[{"stage":"service","base_share":0.46425763022339633,"variant_share":0.5811919483095382,"d_share":0.11693431808614191,"d_us":66.77947099999994},{"stage":"storage","base_share":0.5006675631473851,"variant_share":0.41606926358948215,"d_share":-0.08459829955790299,"d_us":-84.92669699999999},{"stage":"net","base_share":0.03248801935178606,"variant_share":0,"d_share":-0.03248801935178606,"d_us":-25.6208}]}]}` + "\n"
+	if stdout != want {
+		t.Fatalf("what-if json output drifted:\ngot:  %swant: %s", stdout, want)
+	}
+}
+
+// TestWhatIfFleetShardWorkerInvariance checks the -whatif CLI contract on
+// the coupled fleet: stdout is byte-identical for the worker pool and the
+// -1 single-engine reference (no normalization needed — the what-if report
+// carries no wall-clock fields).
+func TestWhatIfFleetShardWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	args := []string{
+		"-whatif", "-app", "Text", "-rps", "8000", "-duration", "30ms", "-warmup", "5ms",
+		"-servers", "2", "-lb", "p2c", "-skew", "1,2",
+		"-whatif-stages", "net", "-whatif-factors", "0.5", "-json",
+	}
+	ref, stderr, code := runMain(t, append(args, "-shard-workers", "-1")...)
+	if code != 0 {
+		t.Fatalf("reference exit %d, stderr: %s", code, stderr)
+	}
+	got, stderr, code := runMain(t, append(args, "-shard-workers", "4")...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if got != ref {
+		t.Fatalf("-shard-workers 4 what-if output diverged from -1 reference:\nref: %sgot: %s", ref, got)
+	}
+}
+
+func TestBadFlagBoundsExit(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-top", "0"}, "-top 0 is out of range"},
+		{[]string{"-top", "150"}, "-top 150 is out of range"},
+		{[]string{"-exemplars-k", "0"}, "-exemplars-k 0 is out of range"},
+		{[]string{"-whatif", "-whatif-factors", "-0.5"}, "is negative"},
+		{[]string{"-whatif", "-whatif-factors", "1.5"}, "is out of range"},
+		{[]string{"-whatif", "-whatif-stages", "queue"}, "unknown what-if stage"},
+	} {
+		_, stderr, code := runMain(t, tc.args...)
+		if code != 2 {
+			t.Fatalf("%v: exit %d, want 2 (stderr %q)", tc.args, code, stderr)
+		}
+		if !strings.Contains(stderr, tc.want) {
+			t.Fatalf("%v: stderr %q missing %q", tc.args, stderr, tc.want)
+		}
+	}
+}
+
 func TestBadLBExits(t *testing.T) {
 	_, stderr, code := runMain(t, "-servers", "2", "-lb", "bogus")
 	if code != 2 {

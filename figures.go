@@ -49,6 +49,9 @@ type (
 	// FleetScaleRow is one (policy, fleet size) point of the coupled-fleet
 	// scale study.
 	FleetScaleRow = experiments.FleetScaleRow
+	// WhatIfRow is one (arch, stage, factor) point of the causal-profiling
+	// study: blame share vs actual tail payoff under a virtual speedup.
+	WhatIfRow = experiments.WhatIfRow
 )
 
 // Fig1 regenerates Figure 1: four published microarchitectural
@@ -134,3 +137,10 @@ func FleetLB(o ExperimentOptions) []FleetLBRow { return experiments.FleetLB(o) }
 // per four servers, per-server load held fixed) for every balancer policy:
 // the tail-at-scale figure, each cell one sharded PDES simulation.
 func FleetScale(o ExperimentOptions) []FleetScaleRow { return experiments.FleetScale(o) }
+
+// WhatIf runs the causal-profiling grid on coupled ScaleOut and uManycore
+// machines at the top per-server load: every accelerable stage virtually
+// scaled to {0.9, 0.75, 0.5, 0} of its cost under paired seeds, each row
+// reporting the stage's descriptive blame share next to the p99 reduction
+// the speedup actually bought (see internal/whatif and OBSERVABILITY.md).
+func WhatIf(o ExperimentOptions) []WhatIfRow { return experiments.WhatIf(o) }

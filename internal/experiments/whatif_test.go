@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"testing"
+
+	"umanycore/internal/sim"
+)
+
+func whatIfTestOptions() Options {
+	o := DefaultOptions().Quick()
+	o.Duration = 60 * sim.Millisecond
+	o.Warmup = 10 * sim.Millisecond
+	o.Loads = []float64{3000}
+	return o
+}
+
+// TestWhatIfFigure checks the causal-profiling study's structure: both
+// architectures, the full stage×factor grid, monotone factor ladders per
+// stage, and at least one speedup that actually buys tail latency.
+func TestWhatIfFigure(t *testing.T) {
+	rows := WhatIf(whatIfTestOptions())
+	const stages, factors = 6, 4
+	if want := 2 * stages * factors; len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	archs := map[string]int{}
+	anyPayoff := false
+	for _, r := range rows {
+		archs[r.Arch]++
+		if r.BaseP99Micros <= 0 {
+			t.Fatalf("degenerate baseline in row %+v", r)
+		}
+		if r.PayoffP99 > 0.01 {
+			anyPayoff = true
+		}
+	}
+	if archs["ScaleOut"] != stages*factors || archs["uManycore"] != stages*factors {
+		t.Fatalf("arch split = %v", archs)
+	}
+	if !anyPayoff {
+		t.Fatal("no virtual speedup bought any tail latency")
+	}
+}

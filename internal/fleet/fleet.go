@@ -74,6 +74,14 @@ type Config struct {
 	// Slowdown[s]× slower (its PerfFactor is divided by the entry). Missing,
 	// zero or negative entries mean 1.0 (no slowdown).
 	Slowdown []float64
+	// WhatIf applies virtual stage speedups to every server (causal
+	// profiling — see machine.StageSpeedups and internal/whatif).
+	WhatIf machine.StageSpeedups
+	// WhatIfPerServer overrides WhatIf for individual servers: a non-zero
+	// entry at index s replaces the fleet-wide speedups on server s
+	// (missing or zero entries fall back to WhatIf). Lets a study ask
+	// "what if only the straggler's storage were faster".
+	WhatIfPerServer []machine.StageSpeedups
 	// Parallel caps the worker count for RunIndependent's per-server
 	// fan-out (0 = one worker per CPU); results are identical for any
 	// value. The coupled Run ignores it — see ShardWorkers.
@@ -128,6 +136,12 @@ func (fc Config) serverConfig(s int, cross float64) machine.Config {
 	mcfg.RemoteRTT = fc.InterServerRTT
 	if s < len(fc.Slowdown) && fc.Slowdown[s] > 0 {
 		mcfg.PerfFactor /= fc.Slowdown[s]
+	}
+	if !fc.WhatIf.IsZero() {
+		mcfg.WhatIf = fc.WhatIf
+	}
+	if s < len(fc.WhatIfPerServer) && !fc.WhatIfPerServer[s].IsZero() {
+		mcfg.WhatIf = fc.WhatIfPerServer[s]
 	}
 	return mcfg
 }

@@ -159,6 +159,12 @@ type Config struct {
 	// Request/response message sizes on the ICN.
 	ReqMsgBytes, RespMsgBytes int
 
+	// WhatIf virtually accelerates pipeline stages for causal profiling:
+	// each field removes that fraction of the stage's configured cost (0 =
+	// unchanged, 1 = eliminated). The zero value changes nothing. See
+	// StageSpeedups and internal/whatif.
+	WhatIf StageSpeedups
+
 	// Extensions enables the optional features beyond the paper's evaluated
 	// design (co-location, RQ partitioning, core stealing, heterogeneous
 	// villages); see ExtensionConfig.
@@ -197,6 +203,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Policy.HardwareRQ && c.RQCapacity <= 0 {
 		return fmt.Errorf("machine: hardware RQ needs capacity")
+	}
+	if err := c.WhatIf.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -64,6 +64,10 @@ type Machine struct {
 	// through it instead of paying a probabilistic latency add locally.
 	remoteSend RemoteSender
 
+	// sp holds the effective what-if cost multipliers (all 1 when
+	// Config.WhatIf is zero), precomputed at construction.
+	sp stageScale
+
 	// rng, when non-nil, replaces the engine's named streams as the source
 	// of this machine's randomness. A sharded fleet gives every server its
 	// own bundle (seeded from the server index), so the server draws the
@@ -185,6 +189,7 @@ func NewMix(eng *sim.Engine, cfg Config, catalog *workload.Catalog, mix []worklo
 		instances:     make(map[int][]*domain),
 		svcmap:        rpcnet.NewServiceMap(),
 		LatencyByRoot: make(map[int]*stats.Sample),
+		sp:            cfg.WhatIf.scales(),
 	}
 	switch cfg.Topo {
 	case MeshTopo:
@@ -558,7 +563,7 @@ func (m *Machine) enqueue(inv *invocation) {
 	// Software queue: the enqueue critical section serializes on the
 	// domain's scheduler resource; the work becomes visible when it
 	// completes.
-	enqCost := sim.Time(float64(m.cfg.CyclesToTime(m.cfg.Policy.EnqueueCycles)) * m.lockFactor(dom))
+	enqCost := shrink(0, sim.Time(float64(m.cfg.CyclesToTime(m.cfg.Policy.EnqueueCycles))*m.lockFactor(dom)), m.sp.sched)
 	grant := dom.sched.Acquire(m.eng.Now(), enqCost)
 	m.eng.At(grant, func() {
 		dom.swq = append(dom.swq, inv)
@@ -684,7 +689,7 @@ func (m *Machine) lockFactor(dom *domain) float64 {
 func (m *Machine) pop(c *core) (*invocation, sim.Time) {
 	now := m.eng.Now()
 	dom := c.dom
-	cost := sim.Time(float64(m.cfg.CyclesToTime(m.cfg.Policy.DequeueCycles)) * m.lockFactor(dom))
+	cost := shrink(0, sim.Time(float64(m.cfg.CyclesToTime(m.cfg.Policy.DequeueCycles))*m.lockFactor(dom)), m.sp.sched)
 	if dom.hwq != nil {
 		e := dom.hwq.Dequeue(c.svcID, c.id)
 		if e == nil && c.svcID >= 0 && m.cfg.Extensions.CoreStealing {
@@ -726,7 +731,7 @@ func (m *Machine) pop(c *core) (*invocation, sim.Time) {
 			if m.mx != nil {
 				m.observeQueueDepth(-1)
 			}
-			steal := m.cfg.CyclesToTime(m.cfg.Policy.StealCycles)
+			steal := m.scaledCycles(m.cfg.Policy.StealCycles, m.sp.sched)
 			grant := victim.sched.Acquire(now, cost+steal)
 			// The stolen invocation migrates to this core's domain.
 			inv.dom = dom
@@ -762,7 +767,7 @@ func (m *Machine) dispatch(c *core) {
 	csEnd, memEnd := start, start
 	// Restore saved state (hardware or software context switch).
 	if inv.resumed {
-		cs := m.cfg.CyclesToTime(m.cfg.Policy.CSCycles)
+		cs := m.scaledCycles(m.cfg.Policy.CSCycles, m.sp.cs)
 		if m.cfg.Policy.Centralized {
 			start = c.dom.sched.Acquire(start, cs)
 		} else {
@@ -772,10 +777,10 @@ func (m *Machine) dispatch(c *core) {
 		// Migration/coherence penalty when resuming on a different core.
 		if inv.lastCore >= 0 && inv.lastCore != c.id {
 			if m.cfg.GlobalCoherence {
-				start += m.cfg.CyclesToTime(m.cfg.CoherencePenaltyCycles)
+				start += m.scaledCycles(m.cfg.CoherencePenaltyCycles, m.sp.mem)
 				m.injectCoherenceTraffic(c.dom)
 			} else {
-				start += m.cfg.CyclesToTime(m.cfg.VillageResumePenaltyCycles)
+				start += m.scaledCycles(m.cfg.VillageResumePenaltyCycles, m.sp.mem)
 			}
 		}
 		memEnd = start
@@ -784,10 +789,10 @@ func (m *Machine) dispatch(c *core) {
 	// hardware NIC did it off-core).
 	if !inv.dispatched {
 		inv.dispatched = true
-		start += m.cfg.CyclesToTime(m.cfg.RPCProcCycles)
+		start += m.scaledCycles(m.cfg.RPCProcCycles, m.sp.rpc)
 	} else if inv.resumed {
 		// Response deserialization on resume.
-		start += m.cfg.CyclesToTime(m.cfg.ResumeProcCycles)
+		start += m.scaledCycles(m.cfg.ResumeProcCycles, m.sp.rpc)
 	}
 	inv.resumed = false
 	inv.lastCore = c.id
@@ -869,11 +874,14 @@ func (m *Machine) segmentEnd(c *core, inv *invocation) {
 		} else {
 			lat = m.cfg.StorageRTT + sim.FromMicros(op.Time.Sample(m.rand("storage")))
 		}
+		lat = shrink(0, lat, m.sp.storage)
 		if m.cfg.IOViaICN {
 			// Storage messages cross the on-package ICN to the package I/O
 			// point and back — the funnel traffic of Fig 7.
 			out, hops1 := m.ioDeliverOut(saved, inv.dom.endpoint, m.cfg.StorageReqBytes)
+			out = shrink(saved, out, m.sp.net)
 			back, hops2 := m.ioDeliverIn(out+lat, inv.dom.endpoint, m.cfg.StorageRespBytes)
+			back = shrink(out+lat, back, m.sp.net)
 			m.hopSum += uint64(hops1 + hops2)
 			m.msgCount += 2
 			if inv.span != 0 {
@@ -902,7 +910,7 @@ func (m *Machine) segmentEnd(c *core, inv *invocation) {
 			// One send-processing span for the batch: every child departs
 			// after the same per-call tax, so per-child copies would only
 			// duplicate the interval.
-			if dep := saved + m.cfg.CyclesToTime(m.cfg.SendProcCycles); dep > saved {
+			if dep := saved + m.scaledCycles(m.cfg.SendProcCycles, m.sp.rpc); dep > saved {
 				m.trace.Add(inv.span, obs.StageRPC, saved, dep)
 			}
 		}
@@ -921,7 +929,7 @@ func (m *Machine) block(c *core, inv *invocation, n int) sim.Time {
 	inv.pending = n
 	inv.resumed = true
 	now := m.eng.Now()
-	cs := m.cfg.CyclesToTime(m.cfg.Policy.CSCycles)
+	cs := m.scaledCycles(m.cfg.Policy.CSCycles, m.sp.cs)
 	var saved sim.Time
 	if m.cfg.Policy.Centralized {
 		saved = c.dom.sched.Acquire(now, cs)
@@ -967,13 +975,14 @@ func (m *Machine) sendChild(c *core, parent *invocation, svcID int, saved sim.Ti
 	} else {
 		child.dom = m.pickInstance(svcID)
 	}
-	dep := saved + m.cfg.CyclesToTime(m.cfg.SendProcCycles)
+	dep := saved + m.scaledCycles(m.cfg.SendProcCycles, m.sp.rpc)
 	src := m.srcEndpoint(c)
 	dst := m.dstEndpoint(child.dom, rng)
 	at, hops := icn.Deliver(m.topo, dep, src, dst, m.cfg.ReqMsgBytes, rng, m.cfg.ICNContention)
 	m.hopSum += uint64(hops)
 	m.msgCount++
 	at += m.cfg.NICHWDelay
+	at = shrink(dep, at, m.sp.net)
 	if m.remoteSend == nil && m.cfg.RemoteCallFrac > 0 && rng.Float64() < m.cfg.RemoteCallFrac {
 		// Uncoupled (symmetric-server) approximation: the child still runs
 		// locally; the inter-server wire time is a probabilistic latency add.
@@ -1000,14 +1009,17 @@ func (m *Machine) sendChild(c *core, parent *invocation, svcID int, saved sim.Ti
 // blame then charges the remote middle to the peer server's stages instead
 // of an opaque StageOther blob.
 func (m *Machine) sendChildRemote(c *core, parent *invocation, svcID int, saved sim.Time) {
-	dep := saved + m.cfg.CyclesToTime(m.cfg.SendProcCycles)
+	dep := saved + m.scaledCycles(m.cfg.SendProcCycles, m.sp.rpc)
 	out := dep
 	if m.cfg.IOViaICN {
 		var hops int
 		out, hops = m.ioDeliverOut(dep, m.srcEndpoint(c), m.cfg.ReqMsgBytes)
 		m.hopSum += uint64(hops)
 		m.msgCount++
+		out = shrink(dep, out, m.sp.net)
 	}
+	// The inter-server half-RTT is never what-if-scaled: it is the PDES
+	// coupling's conservative lookahead floor (see StageSpeedups.Net).
 	depart := out + m.cfg.RemoteRTT/2
 	var span uint64
 	if parent.span != 0 {
@@ -1027,6 +1039,7 @@ func (m *Machine) sendChildRemote(c *core, parent *invocation, svcID int, saved 
 			m.msgCount++
 		}
 		at += m.cfg.NICHWDelay
+		at = shrink(back, at, m.sp.net)
 		if span != 0 {
 			if at > done {
 				m.trace.Add(span, obs.StageNet, done, at)
@@ -1115,7 +1128,7 @@ func (m *Machine) unblock(inv *invocation) {
 		return
 	}
 	// Software: re-enqueued at the tail (arrival priority lost).
-	enqCost := sim.Time(float64(m.cfg.CyclesToTime(m.cfg.Policy.EnqueueCycles)) * m.lockFactor(dom))
+	enqCost := shrink(0, sim.Time(float64(m.cfg.CyclesToTime(m.cfg.Policy.EnqueueCycles))*m.lockFactor(dom)), m.sp.sched)
 	grant := dom.sched.Acquire(m.eng.Now(), enqCost)
 	m.eng.At(grant, func() {
 		dom.swq = append(dom.swq, inv)
@@ -1200,6 +1213,7 @@ func (m *Machine) respond(inv *invocation) {
 	m.hopSum += uint64(hops)
 	m.msgCount++
 	at += m.cfg.NICHWDelay
+	at = shrink(m.eng.Now(), at, m.sp.net)
 	if inv.remote {
 		at += m.cfg.RemoteRTT / 2
 	}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"umanycore/internal/sim"
+)
+
+// BlameSummary is the cacheable core of a Report: the aggregate
+// critical-path attribution without span trees or per-request rows. It is
+// what the what-if engine persists per sweep cell (internal/whatif) and
+// what differential blame operates on, so diffs work identically on fresh
+// and cache-decoded results.
+type BlameSummary struct {
+	// TopFrac is the analyzed tail fraction.
+	TopFrac float64
+	// Total counts finished clean traced requests; Analyzed the tail slice.
+	Total, Analyzed int
+	// Cutoff / P99 are the tail threshold and traced p99 latency.
+	Cutoff, P99 sim.Time
+	// TotalLatency sums the analyzed requests' end-to-end latencies.
+	TotalLatency sim.Time
+	// ByStage sums critical-path time per stage; equals TotalLatency.
+	ByStage [NumStages]sim.Time
+	// ByServerStage splits ByStage by recording server (nil when the trace
+	// came from one server).
+	ByServerStage [][NumStages]sim.Time
+}
+
+// Summary reduces a Report to its aggregate core.
+func (r *Report) Summary() BlameSummary {
+	return BlameSummary{
+		TopFrac:       r.TopFrac,
+		Total:         r.Total,
+		Analyzed:      len(r.Requests),
+		Cutoff:        r.Cutoff,
+		P99:           r.P99,
+		TotalLatency:  r.TotalLatency(),
+		ByStage:       r.ByStage,
+		ByServerStage: r.ByServerStage,
+	}
+}
+
+// Residual is TotalLatency minus the stage sums — zero for any summary
+// produced by Analyze (the critical-path invariant).
+func (s *BlameSummary) Residual() sim.Time {
+	t := s.TotalLatency
+	for _, d := range s.ByStage {
+		t -= d
+	}
+	return t
+}
+
+// StageShift is one stage's row of a differential blame report: where the
+// analyzed tail's critical-path time sat before and after a change. Times
+// are mean microseconds per analyzed request; shares are fractions of each
+// side's analyzed tail latency.
+type StageShift struct {
+	Stage                               Stage
+	BaseUS, VariantUS, DeltaUS          float64
+	BaseShare, VariantShare, DeltaShare float64
+}
+
+// ServerShift is the per-server analogue: each server's critical-path
+// contribution to the analyzed tail before and after.
+type ServerShift struct {
+	Server                              int
+	BaseUS, VariantUS, DeltaUS          float64
+	BaseShare, VariantShare, DeltaShare float64
+}
+
+// ReportDiff is a differential blame report between two analyses of the
+// same workload (typically baseline vs one virtual speedup): how
+// critical-path attribution migrates between stages and servers. Because
+// both sides obey the zero-residual invariant, the stage rows telescope:
+// the BaseUS column sums to BasePerReqUS and the VariantUS column to
+// VariantPerReqUS, so DeltaUS rows sum exactly to the mean tail-latency
+// change.
+type ReportDiff struct {
+	// BasePerReqUS / VariantPerReqUS are the mean end-to-end latencies of
+	// the analyzed tail requests on each side.
+	BasePerReqUS, VariantPerReqUS float64
+	// BaseResidualPS / VariantResidualPS are each side's residuals in
+	// picoseconds (zero unless a span tree violated an invariant).
+	BaseResidualPS, VariantResidualPS int64
+	// Stages lists every stage with critical-path time on either side, in
+	// pipeline order.
+	Stages []StageShift
+	// Servers lists per-server shifts when either side has a per-server
+	// split (coupled-fleet traces); nil otherwise.
+	Servers []ServerShift
+}
+
+// DiffReports builds the differential blame report between two analyses —
+// base first, variant second.
+func DiffReports(base, variant *Report) *ReportDiff {
+	return DiffBlame(base.Summary(), variant.Summary())
+}
+
+// DiffBlame is DiffReports over pre-reduced summaries (the cached form).
+func DiffBlame(base, variant BlameSummary) *ReportDiff {
+	d := &ReportDiff{
+		BasePerReqUS:      perReqUS(base.TotalLatency, base.Analyzed),
+		VariantPerReqUS:   perReqUS(variant.TotalLatency, variant.Analyzed),
+		BaseResidualPS:    int64(base.Residual()),
+		VariantResidualPS: int64(variant.Residual()),
+	}
+	for _, st := range blameOrder {
+		b, v := base.ByStage[st], variant.ByStage[st]
+		if b == 0 && v == 0 {
+			continue
+		}
+		row := StageShift{
+			Stage:        st,
+			BaseUS:       perReqUS(b, base.Analyzed),
+			VariantUS:    perReqUS(v, variant.Analyzed),
+			BaseShare:    share(b, base.TotalLatency),
+			VariantShare: share(v, variant.TotalLatency),
+		}
+		row.DeltaUS = row.VariantUS - row.BaseUS
+		row.DeltaShare = row.VariantShare - row.BaseShare
+		d.Stages = append(d.Stages, row)
+	}
+	servers := len(base.ByServerStage)
+	if len(variant.ByServerStage) > servers {
+		servers = len(variant.ByServerStage)
+	}
+	for s := 0; s < servers; s++ {
+		var b, v sim.Time
+		if s < len(base.ByServerStage) {
+			for _, t := range base.ByServerStage[s] {
+				b += t
+			}
+		}
+		if s < len(variant.ByServerStage) {
+			for _, t := range variant.ByServerStage[s] {
+				v += t
+			}
+		}
+		if b == 0 && v == 0 {
+			continue
+		}
+		row := ServerShift{
+			Server:       s,
+			BaseUS:       perReqUS(b, base.Analyzed),
+			VariantUS:    perReqUS(v, variant.Analyzed),
+			BaseShare:    share(b, base.TotalLatency),
+			VariantShare: share(v, variant.TotalLatency),
+		}
+		row.DeltaUS = row.VariantUS - row.BaseUS
+		row.DeltaShare = row.VariantShare - row.BaseShare
+		d.Servers = append(d.Servers, row)
+	}
+	return d
+}
+
+func perReqUS(t sim.Time, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return t.Micros() / float64(n)
+}
+
+func share(part, total sim.Time) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(part) / float64(total)
+}
+
+// TopMovers returns the k stage rows with the largest absolute share
+// migration, most-moved first (ties by pipeline order — deterministic).
+func (d *ReportDiff) TopMovers(k int) []StageShift {
+	rows := append([]StageShift(nil), d.Stages...)
+	sort.SliceStable(rows, func(a, b int) bool {
+		da, db := rows[a].DeltaShare, rows[b].DeltaShare
+		if da < 0 {
+			da = -da
+		}
+		if db < 0 {
+			db = -db
+		}
+		return da > db
+	})
+	if k > len(rows) {
+		k = len(rows)
+	}
+	return rows[:k]
+}
+
+// WriteTable prints the migration table: per-stage tail attribution before
+// and after, with the telescoping end-to-end reconciliation line.
+func (d *ReportDiff) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "%-11s %12s %8s %12s %8s %10s\n",
+		"stage", "base [us]", "share", "variant [us]", "share", "delta [us]")
+	for _, row := range d.Stages {
+		fmt.Fprintf(w, "%-11s %12.1f %7.1f%% %12.1f %7.1f%% %+10.1f\n",
+			row.Stage, row.BaseUS, 100*row.BaseShare,
+			row.VariantUS, 100*row.VariantShare, row.DeltaUS)
+	}
+	fmt.Fprintf(w, "%-11s %12.1f %8s %12.1f %8s %+10.1f  (residual %dps/%dps)\n",
+		"end-to-end", d.BasePerReqUS, "", d.VariantPerReqUS, "",
+		d.VariantPerReqUS-d.BasePerReqUS, d.BaseResidualPS, d.VariantResidualPS)
+	for _, row := range d.Servers {
+		fmt.Fprintf(w, "  s%-9d %12.1f %7.1f%% %12.1f %7.1f%% %+10.1f\n",
+			row.Server, row.BaseUS, 100*row.BaseShare,
+			row.VariantUS, 100*row.VariantShare, row.DeltaUS)
+	}
+}

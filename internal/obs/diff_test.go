@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"umanycore/internal/sim"
+)
+
+// buildVariantTree is buildTree after a hypothetical storage/net speedup:
+// the same request shape, but invoke B's wire legs shrank and the tree
+// finishes at 70 instead of 100, so attribution migrates between stages.
+//
+//	request [0, 70]
+//	  queue   [0, 10]
+//	  service [10, 20]
+//	  invoke A [20, 50]   (now finishes last — critical)
+//	    service [22, 48]
+//	  invoke B [20, 45]
+//	    net     [20, 22]
+//	    service [22, 43]
+//	    net     [43, 45]
+//	  service [50, 70]
+func buildVariantTree(c *Collector) {
+	root := c.StartRoot(1, 0, 0)
+	c.Add(root, StageQueue, 0, 10)
+	c.Add(root, StageService, 10, 20)
+	a := c.Start(root, StageInvoke, 1, 20)
+	c.Add(a, StageService, 22, 48)
+	c.End(a, 50)
+	b := c.Start(root, StageInvoke, 2, 20)
+	c.Add(b, StageNet, 20, 22)
+	c.Add(b, StageService, 22, 43)
+	c.Add(b, StageNet, 43, 45)
+	c.End(b, 45)
+	c.Add(root, StageService, 50, 70)
+	c.End(root, 70)
+}
+
+func TestDiffReportsMigration(t *testing.T) {
+	cb, cv := NewCollector(), NewCollector()
+	buildTree(cb)
+	buildVariantTree(cv)
+	base := Analyze(cb.Spans(), 1)
+	variant := Analyze(cv.Spans(), 1)
+	d := DiffReports(base, variant)
+
+	// The zero-residual invariant must hold on both sides of the diff.
+	if d.BaseResidualPS != 0 || d.VariantResidualPS != 0 {
+		t.Fatalf("residuals = %d/%d ps, want 0/0", d.BaseResidualPS, d.VariantResidualPS)
+	}
+	// Telescoping: stage columns sum to the end-to-end means exactly.
+	var sumBase, sumVar float64
+	for _, row := range d.Stages {
+		sumBase += row.BaseUS
+		sumVar += row.VariantUS
+	}
+	if math.Abs(sumBase-d.BasePerReqUS) > 1e-12 || math.Abs(sumVar-d.VariantPerReqUS) > 1e-12 {
+		t.Fatalf("stage sums %v/%v != end-to-end %v/%v",
+			sumBase, sumVar, d.BasePerReqUS, d.VariantPerReqUS)
+	}
+	// Critical-path migration: the variant's critical child is invoke A
+	// (pure service), so net time must leave the path entirely and the
+	// enclosing envelope gap (StageOther) must appear.
+	rows := make(map[Stage]StageShift)
+	for _, row := range d.Stages {
+		rows[row.Stage] = row
+	}
+	if rows[StageNet].VariantUS != 0 || rows[StageNet].DeltaUS >= 0 {
+		t.Fatalf("net row = %+v, want variant 0 and negative delta", rows[StageNet])
+	}
+	if rows[StageQueue].BaseShare != 0.10 {
+		t.Fatalf("queue base share = %v, want 0.10", rows[StageQueue].BaseShare)
+	}
+	if _, ok := rows[StageOther]; !ok {
+		t.Fatal("diff missing the StageOther gap row the variant introduces")
+	}
+	// TopMovers ranks by absolute share migration deterministically.
+	movers := d.TopMovers(2)
+	if len(movers) != 2 {
+		t.Fatalf("TopMovers(2) returned %d rows", len(movers))
+	}
+	if movers[0].Stage != StageNet && movers[0].Stage != StageOther && movers[0].Stage != StageService {
+		t.Fatalf("top mover %v has no share migration", movers[0].Stage)
+	}
+	var sb strings.Builder
+	d.WriteTable(&sb)
+	if !strings.Contains(sb.String(), "residual 0ps/0ps") {
+		t.Fatalf("diff table missing residual line:\n%s", sb.String())
+	}
+}
+
+// TestDiffBlamePerServer hand-builds stitched-style spans with Server tags
+// and checks the per-server shift rows split the same exact totals.
+func TestDiffBlamePerServer(t *testing.T) {
+	mk := func(svcEnd sim.Time) []Span {
+		return []Span{
+			{ID: 1, Req: 1, Stage: StageRequest, Server: 0, Start: 0, End: 100},
+			{ID: 2, Parent: 1, Req: 1, Stage: StageService, Server: 1, Start: 0, End: svcEnd},
+		}
+	}
+	base := Analyze(mk(100), 1)
+	variant := Analyze(mk(50), 1)
+	d := DiffReports(base, variant)
+	if d.BaseResidualPS != 0 || d.VariantResidualPS != 0 {
+		t.Fatalf("residuals = %d/%d ps, want 0/0", d.BaseResidualPS, d.VariantResidualPS)
+	}
+	if len(d.Servers) != 2 {
+		t.Fatalf("server rows = %d, want 2", len(d.Servers))
+	}
+	// Server 1 did all the base critical path; after the change half the
+	// path (the envelope gap) migrates to server 0.
+	if d.Servers[0].BaseShare != 0 || d.Servers[0].VariantShare != 0.5 {
+		t.Fatalf("server 0 shares = %v/%v, want 0/0.5",
+			d.Servers[0].BaseShare, d.Servers[0].VariantShare)
+	}
+	if d.Servers[1].BaseShare != 1 || d.Servers[1].VariantShare != 0.5 {
+		t.Fatalf("server 1 shares = %v/%v, want 1/0.5",
+			d.Servers[1].BaseShare, d.Servers[1].VariantShare)
+	}
+	// Server rows telescope like stage rows.
+	if got := d.Servers[0].VariantUS + d.Servers[1].VariantUS; math.Abs(got-d.VariantPerReqUS) > 1e-12 {
+		t.Fatalf("server sums %v != end-to-end %v", got, d.VariantPerReqUS)
+	}
+}

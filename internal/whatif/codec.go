@@ -1,0 +1,120 @@
+package whatif
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"umanycore/internal/obs"
+	"umanycore/internal/sim"
+	"umanycore/internal/stats"
+	"umanycore/internal/sweep"
+)
+
+// The cell codec carries a Cell through the sweep cell cache. Encode is
+// deterministic down to the byte — fixed field order via stats.JSONObject,
+// shortest-exact floats, picosecond blame tallies as integers — so
+// verify-mode byte-compares prove a warm grid reproduces a cold one
+// exactly. A nil ByServerStage (single-machine trace) is encoded by
+// omitting the key entirely, and Decode restores nil, so the nil/non-nil
+// distinction survives a cache round trip.
+
+// Codec returns the Cell codec used for whatif grid cells.
+func Codec() sweep.CellCodec[Cell] {
+	return sweep.CellCodec[Cell]{Encode: encodeCell, Decode: decodeCell}
+}
+
+func encodeCell(c Cell) ([]byte, error) {
+	var o stats.JSONObject
+	lat, _ := c.Latency.MarshalJSON()
+	o.Raw("latency", lat).
+		Float("p999", c.P999US).
+		Obj("blame", func(b *stats.JSONObject) {
+			b.Float("top_frac", c.Blame.TopFrac).
+				Int("total", int64(c.Blame.Total)).
+				Int("analyzed", int64(c.Blame.Analyzed)).
+				Int("cutoff_ps", int64(c.Blame.Cutoff)).
+				Int("p99_ps", int64(c.Blame.P99)).
+				Int("total_ps", int64(c.Blame.TotalLatency)).
+				Raw("by_stage_ps", stageArr(c.Blame.ByStage))
+			if c.Blame.ByServerStage != nil {
+				rows := make([][]byte, len(c.Blame.ByServerStage))
+				for i, row := range c.Blame.ByServerStage {
+					rows[i] = stageArr(row)
+				}
+				b.RawArr("by_server_stage_ps", rows)
+			}
+		})
+	return o.Bytes(), nil
+}
+
+// stageArr renders a per-stage picosecond vector as a raw JSON int array.
+func stageArr(v [obs.NumStages]sim.Time) []byte {
+	buf := []byte{'['}
+	for i, t := range v {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, int64(t), 10)
+	}
+	return append(buf, ']')
+}
+
+// cellJSON mirrors the encodeCell layout for decoding.
+type cellJSON struct {
+	Latency stats.Summary `json:"latency"`
+	P999    float64       `json:"p999"`
+	Blame   struct {
+		TopFrac       float64   `json:"top_frac"`
+		Total         int       `json:"total"`
+		Analyzed      int       `json:"analyzed"`
+		CutoffPS      int64     `json:"cutoff_ps"`
+		P99PS         int64     `json:"p99_ps"`
+		TotalPS       int64     `json:"total_ps"`
+		ByStagePS     []int64   `json:"by_stage_ps"`
+		ByServerStage [][]int64 `json:"by_server_stage_ps"`
+	} `json:"blame"`
+}
+
+func decodeCell(b []byte) (Cell, error) {
+	var m cellJSON
+	if err := json.Unmarshal(b, &m); err != nil {
+		return Cell{}, fmt.Errorf("whatif: decoding cached cell: %w", err)
+	}
+	c := Cell{
+		Latency: m.Latency,
+		P999US:  m.P999,
+		Blame: obs.BlameSummary{
+			TopFrac:      m.Blame.TopFrac,
+			Total:        m.Blame.Total,
+			Analyzed:     m.Blame.Analyzed,
+			Cutoff:       sim.Time(m.Blame.CutoffPS),
+			P99:          sim.Time(m.Blame.P99PS),
+			TotalLatency: sim.Time(m.Blame.TotalPS),
+		},
+	}
+	var err error
+	if c.Blame.ByStage, err = stageVec(m.Blame.ByStagePS); err != nil {
+		return Cell{}, err
+	}
+	if m.Blame.ByServerStage != nil {
+		c.Blame.ByServerStage = make([][obs.NumStages]sim.Time, len(m.Blame.ByServerStage))
+		for i, row := range m.Blame.ByServerStage {
+			if c.Blame.ByServerStage[i], err = stageVec(row); err != nil {
+				return Cell{}, err
+			}
+		}
+	}
+	return c, nil
+}
+
+func stageVec(v []int64) ([obs.NumStages]sim.Time, error) {
+	var out [obs.NumStages]sim.Time
+	if len(v) != int(obs.NumStages) {
+		return out, fmt.Errorf("whatif: cached stage vector has %d entries, want %d", len(v), obs.NumStages)
+	}
+	for i, t := range v {
+		out[i] = sim.Time(t)
+	}
+	return out, nil
+}

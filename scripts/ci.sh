@@ -37,8 +37,8 @@ fi
 # quick included. The fleet package includes the cross-server trace-stitching
 # tests (TestFleetStitchedTracing, TestStitchedObsShardWorkerDeterminism),
 # which exercise obs.Merge against the concurrent worker pool.
-echo "== go test -race (obs + sweep + sweepcache + telemetry + pdes + fleet) =="
-go test -race -short ./internal/obs/... ./internal/sweep/... ./internal/sweepcache/... ./internal/telemetry/... ./internal/pdes/... ./internal/fleet/...
+echo "== go test -race (obs + sweep + sweepcache + telemetry + pdes + fleet + whatif) =="
+go test -race -short ./internal/obs/... ./internal/sweep/... ./internal/sweepcache/... ./internal/telemetry/... ./internal/pdes/... ./internal/fleet/... ./internal/whatif/...
 
 # Cache gate: a cold run must fill the cache, a warm run must reuse it, a
 # verify run must recompute without a single byte of drift — and all three
@@ -73,6 +73,27 @@ go build -o "$cachedir/umprof" ./cmd/umprof
 cmp "$cachedir/shard1.json" "$cachedir/shard4.json"
 cmp "$cachedir/ex1.json" "$cachedir/ex4.json"
 echo "shard workers 1 vs 4 byte-identical (json + exemplars)"
+
+# What-if gate: the causal-profiling grid (traced paired-seed cells reduced
+# through the cell codec) must also be byte-identical across shard-worker
+# counts — and its JSON carries no wall-clock fields, so no normalization.
+echo "== whatif 1-vs-4 shard workers =="
+"$cachedir/umprof" -whatif -app Text -rps 16000 -duration 40ms -warmup 10ms \
+    -servers 4 -lb p2c -skew 1,1,2,1 -shard-workers 1 \
+    -whatif-stages sched,net -whatif-factors 0.5,0 -json >"$cachedir/wi1.json"
+"$cachedir/umprof" -whatif -app Text -rps 16000 -duration 40ms -warmup 10ms \
+    -servers 4 -lb p2c -skew 1,1,2,1 -shard-workers 4 \
+    -whatif-stages sched,net -whatif-factors 0.5,0 -json >"$cachedir/wi4.json"
+cmp "$cachedir/wi1.json" "$cachedir/wi4.json"
+echo "whatif shard workers 1 vs 4 byte-identical"
+
+# Baseline gate (warn-only): diff the lb figure against the checked-in
+# snapshot and record a trajectory point. Deterministic sims mean any drift
+# here is a real model change; warn-only keeps CI green while a deliberate
+# change circulates — regenerating BENCH_lb_baseline.json is the fix.
+echo "== bench baseline diff (warn-only) =="
+"$cachedir/umbench" -quick -figures lb -cache "$cachedir/cells" \
+    -baseline BENCH_lb_baseline.json -baseline-warn >/dev/null
 
 echo "== bench smoke (allocation + sweep + telemetry benchmarks, 1 iteration) =="
 go test -run xxx -bench 'BenchmarkEngine|BenchmarkMachineRun' -benchtime 1x \

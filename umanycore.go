@@ -36,6 +36,7 @@ import (
 	"umanycore/internal/sim"
 	"umanycore/internal/stats"
 	"umanycore/internal/telemetry"
+	"umanycore/internal/whatif"
 	"umanycore/internal/workload"
 )
 
@@ -75,6 +76,21 @@ type (
 	Span = obs.Span
 	// BlameReport is the tail-blame breakdown over traced requests.
 	BlameReport = obs.Report
+	// BlameSummary is a BlameReport's cacheable aggregate core.
+	BlameSummary = obs.BlameSummary
+	// BlameDiff is a differential blame report: how critical-path
+	// attribution migrates between two analyses of the same workload.
+	BlameDiff = obs.ReportDiff
+	// StageSpeedups virtually accelerates pipeline stages for causal
+	// profiling (set on Config.WhatIf or FleetConfig.WhatIf; each field
+	// removes that fraction of the stage's configured cost).
+	StageSpeedups = machine.StageSpeedups
+	// WhatIfTarget selects the system a causal-profiling grid studies.
+	WhatIfTarget = whatif.Target
+	// WhatIfOptions tunes the causal-profiling grid.
+	WhatIfOptions = whatif.Options
+	// WhatIfReport is the full what-if sensitivity study.
+	WhatIfReport = whatif.Report
 )
 
 // DefaultObs enables both tracing and metrics for a run:
@@ -113,6 +129,21 @@ func DefaultTelemetry(p99TargetMicros float64) *TelemetryOptions {
 // topFrac of traced requests (0.01 = the paper-style slowest 1%).
 func AnalyzeTail(spans []Span, topFrac float64) *BlameReport {
 	return obs.Analyze(spans, topFrac)
+}
+
+// DiffBlame builds the differential blame report between two tail analyses
+// of the same workload (base first, variant second): per-stage and
+// per-server critical-path attribution before and after, telescoping to
+// the end-to-end mean change (see OBSERVABILITY.md).
+func DiffBlame(base, variant *BlameReport) *BlameDiff {
+	return obs.DiffReports(base, variant)
+}
+
+// RunWhatIf executes a paired-seed causal-profiling grid: the target
+// re-simulated under virtual per-stage speedups, each row reporting the
+// stage's blame share next to the tail improvement actually bought.
+func RunWhatIf(t WhatIfTarget, o WhatIfOptions) (*WhatIfReport, error) {
+	return whatif.Run(t, o)
 }
 
 // Workload types.
