@@ -7,7 +7,8 @@
 //	        [-figures 1,2,3,...] [-json FILE]
 //	        [-cache DIR] [-cache-verify] [-cache-clear]
 //
-// Figure names: 1 2 3 4 5 6 7 8 9 e2e 15 18 19 20 68 power lb scale whatif.
+// Figure names: 1 2 3 4 5 6 7 8 9 e2e 15 18 19 20 68 power lb scale control
+// whatif.
 // Default: all. -parallel bounds the sweep worker pool (default: all cores)
 // and -shard-workers the per-fleet PDES worker pool; output is bit-identical
 // for any value of either.
@@ -48,7 +49,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	parallel := flag.Int("parallel", 0, "sweep workers (<=0: all cores); results are identical for any value")
 	shardWorkers := flag.Int("shard-workers", 0, "PDES shard workers per coupled fleet (0/1: sequential, -1: single-engine reference); results are identical for any value")
-	figures := flag.String("figures", "all", "comma-separated figure list (1..9, e2e, 15, 18, 19, 20, 68, power, lb, scale, whatif)")
+	figures := flag.String("figures", "all", "comma-separated figure list (1..9, e2e, 15, 18, 19, 20, 68, power, lb, scale, control, whatif)")
 	baseline := flag.String("baseline", "", "diff this run's figure rows against a checked-in baseline JSON FILE and exit nonzero past -baseline-threshold")
 	baselineThreshold := flag.Float64("baseline-threshold", 5, "max |delta| percent tolerated by -baseline before failing")
 	baselineWarn := flag.Bool("baseline-warn", false, "report -baseline drift without failing (warn-only)")
@@ -57,6 +58,15 @@ func main() {
 	cacheVerify := flag.Bool("cache-verify", false, "recompute cached cells and fail if any recomputation does not reproduce the cached bytes (requires -cache)")
 	cacheClear := flag.Bool("cache-clear", false, "empty the cache before running (requires -cache)")
 	flag.Parse()
+
+	if *shardWorkers < -1 {
+		fmt.Fprintf(os.Stderr, "umbench: -shard-workers %d is out of range: want -1 (single-engine reference), 0/1 (sequential) or a worker count\n", *shardWorkers)
+		os.Exit(2)
+	}
+	if *baselineThreshold < 0 {
+		fmt.Fprintf(os.Stderr, "umbench: -baseline-threshold %v is out of range: want a non-negative drift percentage\n", *baselineThreshold)
+		os.Exit(2)
+	}
 
 	var cache *sweepcache.Cache
 	if *cacheDir != "" {
@@ -101,14 +111,27 @@ func main() {
 		o = o.Quick()
 	}
 
+	known := []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "e2e", "15", "18", "19", "20", "68", "power", "lb", "scale", "control", "whatif"}
 	want := map[string]bool{}
 	if *figures == "all" {
-		for _, f := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "e2e", "15", "18", "19", "20", "68", "power", "lb", "scale", "whatif"} {
+		for _, f := range known {
 			want[f] = true
 		}
 	} else {
 		for _, f := range strings.Split(*figures, ",") {
-			want[strings.TrimSpace(f)] = true
+			name := strings.TrimSpace(f)
+			found := false
+			for _, k := range known {
+				if name == k {
+					found = true
+					break
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "umbench: unknown figure %q (want a comma-separated subset of %v)\n", name, known)
+				os.Exit(2)
+			}
+			want[name] = true
 		}
 	}
 
@@ -134,6 +157,7 @@ func main() {
 		{"power", func() { powerTable() }},
 		{"lb", func() { fleetLB(o) }},
 		{"scale", func() { fleetScale(o) }},
+		{"control", func() { fleetControl(o) }},
 		{"whatif", func() { whatIfFig(o) }},
 	}
 	workers := sweep.Workers(o.Parallel)
@@ -423,11 +447,17 @@ func sec68(o umanycore.ExperimentOptions) {
 func fleetLB(o umanycore.ExperimentOptions) {
 	rows := umanycore.FleetLB(o)
 	header("Load-balancer study: coupled 4-server uManycore fleet, one 3x straggler, P99 [us]")
-	fmt.Printf("%-7s %10s %10s %10s %10s %10s %10s\n",
-		"policy", "rps/srv", "mean", "p99", "tail/avg", "rejected", "remote")
+	fmt.Printf("%-7s %10s %10s %10s %10s %10s %10s %8s %10s\n",
+		"policy", "rps/srv", "mean", "p99", "tail/avg", "completed", "rejected", "rej%", "remote")
+	anyUnequal := false
 	for _, r := range rows {
-		fmt.Printf("%-7s %10.0f %10.1f %10.1f %10.2f %10d %10d\n",
-			r.Policy, r.PerServerRPS, r.MeanMicros, r.P99Micros, r.TailToAvg, r.Rejected, r.RemoteServed)
+		fmt.Printf("%-7s %10.0f %10.1f %10.1f %10.2f %10d %10d %7.2f%%%s %9d\n",
+			r.Policy, r.PerServerRPS, r.MeanMicros, r.P99Micros, r.TailToAvg,
+			r.Completed, r.Rejected, 100*r.RejectRate, parityMark(r.RejectParity), r.RemoteServed)
+		anyUnequal = anyUnequal || !r.RejectParity
+	}
+	if anyUnequal {
+		fmt.Println(parityNote)
 	}
 	capturedRows = rows
 	if jsonOut != "" {
@@ -441,11 +471,48 @@ func fleetLB(o umanycore.ExperimentOptions) {
 func fleetScale(o umanycore.ExperimentOptions) {
 	rows := umanycore.FleetScale(o)
 	header("Fleet-scale study: coupled uManycore fleets, one 3x straggler per 4 servers, P99 [us]")
-	fmt.Printf("%-7s %8s %12s %10s %10s %10s %10s %12s\n",
-		"policy", "servers", "total rps", "mean", "p99", "tail/avg", "rejected", "events")
+	fmt.Printf("%-7s %8s %12s %10s %10s %10s %10s %10s %8s %12s\n",
+		"policy", "servers", "total rps", "mean", "p99", "tail/avg", "completed", "rejected", "rej%", "events")
+	anyUnequal := false
 	for _, r := range rows {
-		fmt.Printf("%-7s %8d %12.0f %10.1f %10.1f %10.2f %10d %12d\n",
-			r.Policy, r.Servers, r.TotalRPS, r.MeanMicros, r.P99Micros, r.TailToAvg, r.Rejected, r.EventsProcessed)
+		fmt.Printf("%-7s %8d %12.0f %10.1f %10.1f %10.2f %10d %10d %7.2f%%%s %11d\n",
+			r.Policy, r.Servers, r.TotalRPS, r.MeanMicros, r.P99Micros, r.TailToAvg,
+			r.Completed, r.Rejected, 100*r.RejectRate, parityMark(r.RejectParity), r.EventsProcessed)
+		anyUnequal = anyUnequal || !r.RejectParity
+	}
+	if anyUnequal {
+		fmt.Println(parityNote)
+	}
+	capturedRows = rows
+	if jsonOut != "" {
+		if err := writeRowsJSON(jsonOut, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "umbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// parityNote is the footnote printed under a fleet table whenever some load
+// column's policies responded at unequal reject rates.
+const parityNote = "(* = policies at this load rejected at unequal rates; their latency columns are not apples-to-apples)"
+
+// parityMark flags a row whose load column failed reject-rate parity.
+func parityMark(equal bool) string {
+	if equal {
+		return " "
+	}
+	return "*"
+}
+
+func fleetControl(o umanycore.ExperimentOptions) {
+	rows := umanycore.FleetControl(o)
+	header("Closed-loop control study: retry storm vs capped backoff, hedge deadlines, autoscaler lag")
+	fmt.Printf("%-8s %-12s %8s %9s %9s %8s %9s %8s %7s %6s %6s %6s %6s\n",
+		"scenario", "variant", "rps/srv", "mean", "p99", "rej%", "goodput", "retries", "shed", "hedge", "won", "ups", "active")
+	for _, r := range rows {
+		fmt.Printf("%-8s %-12s %8.0f %9.1f %9.1f %7.2f%% %9.0f %8d %7d %6d %6d %6d %6d\n",
+			r.Scenario, r.Variant, r.PerServerRPS, r.MeanMicros, r.P99Micros,
+			100*r.RejectRate, r.GoodputRPS, r.Retries, r.Shed, r.Hedges, r.HedgeWins, r.ScaleUps, r.ActiveServers)
 	}
 	capturedRows = rows
 	if jsonOut != "" {

@@ -178,6 +178,46 @@ func TestBaselineNeedsRowsExit(t *testing.T) {
 	}
 }
 
+// TestBadFlagBoundsExit pins the parse-time flag validation: bad bounds and
+// unknown figure names exit 2 before any simulation starts.
+func TestBadFlagBoundsExit(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-figures", "lb,bogus"}, `unknown figure "bogus"`},
+		{[]string{"-figures", ""}, `unknown figure ""`},
+		{[]string{"-shard-workers", "-2", "-figures", "power"}, "-shard-workers -2 is out of range"},
+		{[]string{"-baseline-threshold", "-1", "-figures", "power"}, "-baseline-threshold -1 is out of range"},
+	} {
+		_, stderr, code := runMain(t, tc.args...)
+		if code != 2 {
+			t.Fatalf("%v: exit %d, want 2 (stderr %q)", tc.args, code, stderr)
+		}
+		if !strings.Contains(stderr, tc.want) {
+			t.Fatalf("%v: stderr %q missing %q", tc.args, stderr, tc.want)
+		}
+	}
+}
+
+// TestControlFigureRuns drives the control figure end to end through the CLI
+// at quick fidelity and checks the storm scenario's headline columns reach
+// the table.
+func TestControlFigureRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	stdout, stderr, code := runMain(t, "-quick", "-figures", "control")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"Closed-loop control study", "uncapped", "capped+shed", "hedge=500us", "lag=25ms", "goodput"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("control figure output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
 func TestBadServeAddrExits(t *testing.T) {
 	_, stderr, code := runMain(t, "-serve", "not/an/addr", "-figures", "power")
 	if code != 2 {

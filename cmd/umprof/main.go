@@ -63,10 +63,34 @@ func main() {
 	whatIf := flag.Bool("whatif", false, "causal profiling: run the paired-seed what-if grid of virtual stage speedups instead of one report")
 	whatIfStages := flag.String("whatif-stages", "", "comma-separated stages to virtually accelerate (default: sched,ctxswitch,mem-stall,rpc-proc,storage,net)")
 	whatIfFactors := flag.String("whatif-factors", "", "comma-separated stage cost factors in [0,1], 0 = stage eliminated (default: 0.9,0.75,0.5,0)")
+	retries := flag.Int("retries", 0, "retry a rejected root up to N times with capped exponential backoff (needs -servers)")
+	retryBase := flag.Duration("retry-base", 100*time.Microsecond, "first retry backoff (doubles per attempt; needs -retries)")
+	retryCap := flag.Duration("retry-cap", 800*time.Microsecond, "backoff ceiling (needs -retries)")
+	retryJitter := flag.Float64("retry-jitter", 0.5, "subtract up to this fraction of each backoff, uniformly at random (needs -retries)")
+	hedge := flag.Duration("hedge", 0, "duplicate a root to a second server after this deadline, first response wins (0 = off; needs -servers)")
+	shedProb := flag.Float64("shed-prob", 0, "reject probability at the dispatcher while the slo.burn watchdog fires (0 = off; needs -servers and -shed-slo)")
+	shedSLO := flag.Float64("shed-slo", 0, "per-request P99 objective in microseconds for the shedding watchdog (needs -shed-prob)")
+	scaleMin := flag.Int("scale-min", 0, "autoscale: start with N active servers and grow on windowed-p99 pressure (0 = whole fleet active; needs -servers and -scale-p99)")
+	scaleP99 := flag.Float64("scale-p99", 0, "autoscaler P99 target in microseconds (needs -scale-min)")
+	scaleLag := flag.Duration("scale-lag", 0, "cold-start lag before a scaled-up server becomes routable (needs -scale-min)")
 	flag.Parse()
 
 	if *top <= 0 || *top > 100 {
 		fatal(fmt.Errorf("-top %v is out of range: want a tail percentage in (0, 100]", *top))
+	}
+	ctl, err := buildControl(controlCLI{
+		retries: *retries, retryBase: *retryBase, retryCap: *retryCap, retryJitter: *retryJitter,
+		hedge: *hedge, shedProb: *shedProb, shedSLO: *shedSLO,
+		scaleMin: *scaleMin, scaleP99: *scaleP99, scaleLag: *scaleLag,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if ctl != nil && *servers < 2 {
+		fatal(fmt.Errorf("control flags (-retries/-hedge/-shed-prob/-scale-min) need a coupled fleet (-servers 2 or more)"))
+	}
+	if ctl != nil && *whatIf {
+		fatal(fmt.Errorf("control flags are not supported with -whatif"))
 	}
 	if *exemplarsK < 1 {
 		fatal(fmt.Errorf("-exemplars-k %d is out of range: want at least 1 exemplar", *exemplarsK))
@@ -138,6 +162,7 @@ func main() {
 			}
 			fc.Slowdown = slow
 		}
+		fc.Control = ctl
 		fres = umanycore.RunFleet(fc, app, *rps, rc, *seed)
 		orun, trun, latency = fres.Obs, fres.Telemetry, fres.Latency
 		label = fmt.Sprintf("%s x%d servers (%s)", fres.Machine, *servers, fres.Balancer)
@@ -223,12 +248,28 @@ func main() {
 		fatal(fmt.Errorf("-fabric needs a coupled multi-server fleet (-servers 2 or more)"))
 	}
 	if *jsonOut {
-		printJSON(label, app.Name, *rps, latency, rep, fres, *fabric)
+		printJSON(label, app.Name, *rps, duration.Seconds(), latency, rep, fres, *fabric)
 		return
 	}
 	fmt.Printf("machine : %s\n", label)
 	fmt.Printf("workload: %s @ %.0f RPS%s\n", app.Name, *rps, mixTag(*mix))
-	fmt.Printf("latency : %s [us]\n\n", latency)
+	fmt.Printf("latency : %s [us]\n", latency)
+	if fres != nil {
+		// The latency line above covers completed requests only; the goodput
+		// line keeps heavy rejection from masquerading as speed.
+		fmt.Printf("goodput : %d completed + %d rejected (reject rate %.2f%%) = %.0f good RPS\n",
+			fres.Completed, fres.Rejected,
+			100*rejRate(fres.Completed, fres.Rejected),
+			float64(fres.Completed)/duration.Seconds())
+		if c := fres.Control; c != nil {
+			fmt.Printf("control : client %s [us]\n", c.Latency)
+			fmt.Printf("          %d submitted: %d completed, %d rejected (reject rate %.2f%%), %d unfinished\n",
+				c.Submitted, c.Completed, c.Rejected, 100*c.RejectRate(), c.Unfinished)
+			fmt.Printf("          %d retries, %d hedges (%d won, %d wasted), %d shed, %d scale-ups (%d servers active)\n",
+				c.Retries, c.Hedges, c.HedgeWins, c.HedgeWaste, c.Shed, c.ScaleUps, c.ActiveServers)
+		}
+	}
+	fmt.Println()
 	rep.WriteTable(os.Stdout)
 	// The traced p99 comes from the span trees alone; the measured p99 from
 	// the latency sample. Agreement is the layer's end-to-end cross-check.
@@ -401,10 +442,11 @@ func meanWindowUS(st *umanycore.FabricStats) float64 {
 // printJSON emits the report as one stable-order JSON object built with
 // stats.JSONObject — the fixed-field-order encoder shared with
 // umsim/umbench; the latency field uses stats.Summary's marshaling. Fleet
-// runs append a "fleet" section (events, wall cost, fabric rounds) and,
-// with -fabric, the full deterministic fabric aggregates. Every field
-// except fleet.wall_seconds is deterministic.
-func printJSON(machineName, appName string, rps float64, latency umanycore.Summary, rep *umanycore.BlameReport, fres *fleet.Result, fabric bool) {
+// runs append a "fleet" section (goodput accounting, events, wall cost,
+// fabric rounds), controlled runs a "control" section with the client-level
+// feedback-loop counters, and -fabric the full deterministic fabric
+// aggregates. Every field except fleet.wall_seconds is deterministic.
+func printJSON(machineName, appName string, rps, durationSec float64, latency umanycore.Summary, rep *umanycore.BlameReport, fres *fleet.Result, fabric bool) {
 	lat, err := latency.MarshalJSON()
 	if err != nil {
 		fatal(err)
@@ -445,12 +487,41 @@ func printJSON(machineName, appName string, rps float64, latency umanycore.Summa
 		})
 	if fres != nil {
 		o.Obj("fleet", func(fo *stats.JSONObject) {
-			fo.Int("events_processed", int64(fres.EventsProcessed)).
+			fo.Int("completed", int64(fres.Completed)).
+				Int("rejected", int64(fres.Rejected)).
+				FloatFixed("reject_rate", rejRate(fres.Completed, fres.Rejected), 6).
+				Float("goodput_rps", float64(fres.Completed)/durationSec).
+				Int("events_processed", int64(fres.EventsProcessed)).
 				Float("wall_seconds", fres.WallSeconds)
 			if fres.Fabric != nil {
 				fo.Int("fabric_rounds", int64(fres.Fabric.Rounds))
 			}
 		})
+		if c := fres.Control; c != nil {
+			clat, err := c.Latency.MarshalJSON()
+			if err != nil {
+				fatal(err)
+			}
+			o.Obj("control", func(co *stats.JSONObject) {
+				co.Int("submitted", int64(c.Submitted)).
+					Int("completed", int64(c.Completed)).
+					Int("rejected", int64(c.Rejected)).
+					Int("unfinished", int64(c.Unfinished)).
+					FloatFixed("reject_rate", c.RejectRate(), 6).
+					Float("goodput_rps", float64(c.Completed)/durationSec).
+					Int("retries", int64(c.Retries)).
+					Int("shed", int64(c.Shed)).
+					Int("attempts", int64(c.Attempts)).
+					Int("hedges", int64(c.Hedges)).
+					Int("hedge_wins", int64(c.HedgeWins)).
+					Int("hedge_waste", int64(c.HedgeWaste)).
+					Int("burn_edges", int64(c.BurnEdges)).
+					Int("scale_ups", int64(c.ScaleUps)).
+					Int("scale_downs", int64(c.ScaleDowns)).
+					Int("active_servers", int64(c.ActiveServers)).
+					Raw("latency", clat)
+			})
+		}
 		if fabric && fres.Fabric != nil {
 			st := fres.Fabric
 			o.Obj("fabric", func(fo *stats.JSONObject) {
@@ -479,6 +550,65 @@ func writeFile(path string, fn func(*os.File) error) error {
 		return err
 	}
 	return f.Close()
+}
+
+// controlCLI carries the control-loop flag subset out of main.
+type controlCLI struct {
+	retries                        int
+	retryBase, retryCap, hedge     time.Duration
+	retryJitter, shedProb, shedSLO float64
+	scaleMin                       int
+	scaleP99                       float64
+	scaleLag                       time.Duration
+}
+
+// buildControl turns the control flags into a ControlConfig, or nil when no
+// loop is enabled. Every bound is checked here so bad values exit 2 at
+// parse time instead of panicking mid-simulation.
+func buildControl(cli controlCLI) (*umanycore.ControlConfig, error) {
+	switch {
+	case cli.retries < 0:
+		return nil, fmt.Errorf("-retries %d is out of range: want a non-negative retry budget", cli.retries)
+	case cli.retryBase < 0 || cli.retryCap < 0 || cli.hedge < 0 || cli.scaleLag < 0:
+		return nil, fmt.Errorf("negative control duration: -retry-base/-retry-cap/-hedge/-scale-lag must be >= 0")
+	case cli.retryJitter < 0 || cli.retryJitter > 1:
+		return nil, fmt.Errorf("-retry-jitter %v is out of range: want a fraction in [0, 1]", cli.retryJitter)
+	case cli.shedProb < 0 || cli.shedProb > 1:
+		return nil, fmt.Errorf("-shed-prob %v is out of range: want a probability in [0, 1]", cli.shedProb)
+	case cli.shedProb > 0 && cli.shedSLO <= 0:
+		return nil, fmt.Errorf("-shed-prob needs a positive -shed-slo objective (got %v)", cli.shedSLO)
+	case cli.scaleMin < 0:
+		return nil, fmt.Errorf("-scale-min %d is out of range: want a non-negative active-server floor", cli.scaleMin)
+	case cli.scaleMin > 0 && cli.scaleP99 <= 0:
+		return nil, fmt.Errorf("-scale-min needs a positive -scale-p99 target (got %v)", cli.scaleP99)
+	}
+	ctl := umanycore.ControlConfig{
+		MaxRetries:     cli.retries,
+		RetryBase:      sim.Time(cli.retryBase.Nanoseconds()) * umanycore.Nanosecond,
+		RetryCap:       sim.Time(cli.retryCap.Nanoseconds()) * umanycore.Nanosecond,
+		RetryJitter:    cli.retryJitter,
+		HedgeAfter:     sim.Time(cli.hedge.Nanoseconds()) * umanycore.Nanosecond,
+		ShedProb:       cli.shedProb,
+		ShedSLOMicros:  cli.shedSLO,
+		ScaleMin:       cli.scaleMin,
+		ScaleP99Micros: cli.scaleP99,
+		ScaleLag:       sim.Time(cli.scaleLag.Nanoseconds()) * umanycore.Nanosecond,
+	}
+	if !ctl.Enabled() {
+		return nil, nil
+	}
+	if err := ctl.Validate(); err != nil {
+		return nil, err
+	}
+	return &ctl, nil
+}
+
+// rejRate is rejected over responded — the goodput complement.
+func rejRate(completed, rejected uint64) float64 {
+	if resp := completed + rejected; resp > 0 {
+		return float64(rejected) / float64(resp)
+	}
+	return 0
 }
 
 // parseSkew parses the -skew list of per-server slowdown factors.

@@ -77,7 +77,7 @@ func TestFleetP2CJSONGolden(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr)
 	}
-	want := `{"machine":"uManycore x2 servers (p2c)","app":"Text","rps":8000,"latency":{"n":219,"mean":683.8382373835612,"p50":672.051632,"p99":1041.98432,"max":1139.72855},"tail":{"top_frac":0.01,"traced":219,"analyzed":3,"cutoff_us":1041.984,"traced_p99_us":1041.984,"by_stage_us":{"ingress":3.600,"sched":0.192,"ctxswitch":2.048,"service":2518.921,"storage":639.981,"net":63.540},"residual_ps":0,"by_server_stage_us":{"s0":{},"s1":{"ingress":3.600,"sched":0.192,"ctxswitch":2.048,"service":2518.921,"storage":639.981,"net":63.540}}},"fleet":{"events_processed":11683,"wall_seconds":0,"fabric_rounds":7629}}` + "\n"
+	want := `{"machine":"uManycore x2 servers (p2c)","app":"Text","rps":8000,"latency":{"n":219,"mean":683.8382373835612,"p50":672.051632,"p99":1041.98432,"max":1139.72855},"tail":{"top_frac":0.01,"traced":219,"analyzed":3,"cutoff_us":1041.984,"traced_p99_us":1041.984,"by_stage_us":{"ingress":3.600,"sched":0.192,"ctxswitch":2.048,"service":2518.921,"storage":639.981,"net":63.540},"residual_ps":0,"by_server_stage_us":{"s0":{},"s1":{"ingress":3.600,"sched":0.192,"ctxswitch":2.048,"service":2518.921,"storage":639.981,"net":63.540}}},"fleet":{"completed":299,"rejected":0,"reject_rate":0.000000,"goodput_rps":7475,"events_processed":11683,"wall_seconds":0,"fabric_rounds":7629}}` + "\n"
 	if got := normalizeWall(stdout); got != want {
 		t.Fatalf("fleet json output drifted:\ngot:  %swant: %s", got, want)
 	}
@@ -171,6 +171,14 @@ func TestBadFlagBoundsExit(t *testing.T) {
 		{[]string{"-whatif", "-whatif-factors", "-0.5"}, "is negative"},
 		{[]string{"-whatif", "-whatif-factors", "1.5"}, "is out of range"},
 		{[]string{"-whatif", "-whatif-stages", "queue"}, "unknown what-if stage"},
+		{[]string{"-servers", "2", "-retries", "-1"}, "-retries -1 is out of range"},
+		{[]string{"-servers", "2", "-retries", "2", "-retry-base", "-1ms"}, "negative control duration"},
+		{[]string{"-servers", "2", "-retries", "2", "-retry-jitter", "1.5"}, "-retry-jitter 1.5 is out of range"},
+		{[]string{"-servers", "2", "-shed-prob", "2"}, "-shed-prob 2 is out of range"},
+		{[]string{"-servers", "2", "-shed-prob", "0.5"}, "-shed-prob needs a positive -shed-slo"},
+		{[]string{"-servers", "2", "-scale-min", "1"}, "-scale-min needs a positive -scale-p99"},
+		{[]string{"-retries", "2"}, "need a coupled fleet"},
+		{[]string{"-servers", "2", "-hedge", "1ms", "-whatif"}, "not supported with -whatif"},
 	} {
 		_, stderr, code := runMain(t, tc.args...)
 		if code != 2 {
@@ -178,6 +186,41 @@ func TestBadFlagBoundsExit(t *testing.T) {
 		}
 		if !strings.Contains(stderr, tc.want) {
 			t.Fatalf("%v: stderr %q missing %q", tc.args, stderr, tc.want)
+		}
+	}
+}
+
+// TestControlJSONShardWorkerInvariance is the CLI form of the control
+// determinism contract (and the template for the scripts/ci.sh gate): a
+// retry+hedging fleet run prints byte-identical JSON — control section
+// included — for the worker pool and the -1 single-engine reference, after
+// normalizing the one wall-clock field.
+func TestControlJSONShardWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	args := []string{
+		"-app", "Text", "-rps", "8000", "-duration", "40ms", "-warmup", "10ms",
+		"-servers", "2", "-lb", "rr", "-skew", "1,3",
+		"-retries", "2", "-hedge", "1ms", "-json",
+	}
+	ref, stderr, code := runMain(t, append(args, "-shard-workers", "-1")...)
+	if code != 0 {
+		t.Fatalf("reference exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(ref, `"control":{"submitted":`) {
+		t.Fatalf("controlled run printed no control section: %s", ref)
+	}
+	if strings.Contains(ref, `"hedges":0,`) {
+		t.Fatalf("straggler fleet never hedged — invariance run is vacuous: %s", ref)
+	}
+	for _, w := range []string{"1", "4"} {
+		got, stderr, code := runMain(t, append(args, "-shard-workers", w)...)
+		if code != 0 {
+			t.Fatalf("workers=%s exit %d, stderr: %s", w, code, stderr)
+		}
+		if normalizeWall(got) != normalizeWall(ref) {
+			t.Fatalf("-shard-workers %s control output diverged from -1 reference:\nref: %sgot: %s", w, ref, got)
 		}
 	}
 }

@@ -51,6 +51,19 @@ func main() {
 	serve := flag.String("serve", "", "serve live /metrics, /healthz, /progress and pprof on this address during the run (e.g. :9090)")
 	flag.Parse()
 
+	switch {
+	case *rps <= 0:
+		fatal(fmt.Errorf("-rps %v is out of range: want a positive offered load", *rps))
+	case *duration <= 0 || *warmup < 0:
+		fatal(fmt.Errorf("bad run window: -duration must be positive and -warmup non-negative (got %v / %v)", *duration, *warmup))
+	case *replicates < 1:
+		fatal(fmt.Errorf("-replicates %d is out of range: want at least 1 replicate", *replicates))
+	case *exemplarsK < 1:
+		fatal(fmt.Errorf("-exemplars-k %d is out of range: want at least 1 exemplar", *exemplarsK))
+	case *sloP99 < 0:
+		fatal(fmt.Errorf("-slo-p99 %v is out of range: want a non-negative P99 objective in microseconds", *sloP99))
+	}
+
 	cfg, err := buildConfig(*arch, *cores)
 	if err != nil {
 		fatal(err)
@@ -86,9 +99,6 @@ func main() {
 
 	// Replicate 0 keeps the user's seed; extra replicates derive theirs, so
 	// -replicates 1 output matches a plain run bit for bit.
-	if *replicates < 1 {
-		*replicates = 1
-	}
 	seeds := make([]int64, *replicates)
 	seeds[0] = *seed
 	for i := 1; i < *replicates; i++ {

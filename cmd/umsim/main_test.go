@@ -75,6 +75,32 @@ func TestWatchdogOutput(t *testing.T) {
 	}
 }
 
+// TestBadFlagBoundsExit pins the parse-time flag validation: out-of-range
+// values exit 2 before any simulation starts.
+func TestBadFlagBoundsExit(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-rps", "-5"}, "-rps -5 is out of range"},
+		{[]string{"-rps", "0"}, "-rps 0 is out of range"},
+		{[]string{"-duration", "-10ms"}, "bad run window"},
+		{[]string{"-warmup", "-1ms"}, "bad run window"},
+		{[]string{"-replicates", "0"}, "-replicates 0 is out of range"},
+		{[]string{"-replicates", "-3"}, "-replicates -3 is out of range"},
+		{[]string{"-exemplars-k", "0"}, "-exemplars-k 0 is out of range"},
+		{[]string{"-slo-p99", "-100"}, "-slo-p99 -100 is out of range"},
+	} {
+		_, stderr, code := runMain(t, tc.args...)
+		if code != 2 {
+			t.Fatalf("%v: exit %d, want 2 (stderr %q)", tc.args, code, stderr)
+		}
+		if !strings.Contains(stderr, tc.want) {
+			t.Fatalf("%v: stderr %q missing %q", tc.args, stderr, tc.want)
+		}
+	}
+}
+
 func TestBadAppExits(t *testing.T) {
 	_, stderr, code := runMain(t, "-app", "NoSuchApp")
 	if code != 2 {

@@ -49,6 +49,9 @@ type (
 	// FleetScaleRow is one (policy, fleet size) point of the coupled-fleet
 	// scale study.
 	FleetScaleRow = experiments.FleetScaleRow
+	// FleetControlRow is one (scenario, variant, load) point of the
+	// closed-loop fleet-control study.
+	FleetControlRow = experiments.FleetControlRow
 	// WhatIfRow is one (arch, stage, factor) point of the causal-profiling
 	// study: blame share vs actual tail payoff under a virtual speedup.
 	WhatIfRow = experiments.WhatIfRow
@@ -137,6 +140,12 @@ func FleetLB(o ExperimentOptions) []FleetLBRow { return experiments.FleetLB(o) }
 // per four servers, per-server load held fixed) for every balancer policy:
 // the tail-at-scale figure, each cell one sharded PDES simulation.
 func FleetScale(o ExperimentOptions) []FleetScaleRow { return experiments.FleetScale(o) }
+
+// FleetControl runs the closed-loop control study on the coupled fleet:
+// retry-storm churn vs capped backoff + burn-triggered shedding at the
+// saturation knee, the hedge-deadline win/waste curve on a straggler fleet,
+// and autoscaler cold-start lag under bursty arrivals.
+func FleetControl(o ExperimentOptions) []FleetControlRow { return experiments.FleetControl(o) }
 
 // WhatIf runs the causal-profiling grid on coupled ScaleOut and uManycore
 // machines at the top per-server load: every accelerable stage virtually

@@ -125,6 +125,7 @@ func TestCacheBatteryDrivers(t *testing.T) {
 		{"Fig9", func(o Options) any { return Fig9(o) }},
 		{"FleetLB", func(o Options) any { return FleetLB(o) }},
 		{"FleetScale", func(o Options) any { o.FleetSizes = []int{2, 4}; return FleetScale(o) }},
+		{"FleetControl", func(o Options) any { return FleetControl(o) }},
 	}
 	for _, f := range figs {
 		f := f

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"umanycore/internal/sim"
+)
+
+func fleetControlTestOptions() Options {
+	o := DefaultOptions().Quick()
+	o.Duration = 60 * sim.Millisecond
+	o.Warmup = 10 * sim.Millisecond
+	o.Drain = 600 * sim.Millisecond
+	return o
+}
+
+func controlRowsBy(t *testing.T, rows []FleetControlRow, scenario string) map[string][]FleetControlRow {
+	t.Helper()
+	out := make(map[string][]FleetControlRow)
+	for _, r := range rows {
+		if r.Scenario != scenario {
+			continue
+		}
+		out[r.Variant] = append(out[r.Variant], r)
+	}
+	if len(out) == 0 {
+		t.Fatalf("no %s rows", scenario)
+	}
+	return out
+}
+
+// TestFleetControlStormHeadline pins the figure's headline at the
+// saturation knee (the middle load point). In this model a §4.3 admission
+// reject costs the server nothing — it turns around at the NIC — so an
+// uncapped retry storm cannot collapse goodput the way retries that burn
+// server work would; the metastable regime shows up as pure churn instead:
+// immediate retries re-sample the same full queue that just rejected them,
+// so the reject rate barely moves while dispatch attempts multiply and the
+// client-perceived mean inflates. Capped backoff + jitter escapes by
+// decorrelating the retry from the full-queue instant (rejects fall below
+// the storm's, goodput rises), and burn-triggered shedding drops the excess
+// at the dispatcher, cheaper for the client than another server round trip.
+func TestFleetControlStormHeadline(t *testing.T) {
+	rows := FleetControl(fleetControlTestOptions())
+	storm := controlRowsBy(t, rows, "storm")
+	knee := func(v string) FleetControlRow {
+		rs := storm[v]
+		if len(rs) != 3 {
+			t.Fatalf("storm variant %q has %d load points, want 3", v, len(rs))
+		}
+		return rs[1]
+	}
+	uncapped, capped, shed, none := knee("uncapped"), knee("capped"), knee("capped+shed"), knee("none")
+
+	if none.RejectRate < 0.02 {
+		t.Fatalf("knee point not saturated (reject rate %.4f); storm is vacuous", none.RejectRate)
+	}
+	// The storm: massive retry churn that buys almost no reject relief and
+	// inflates the client-perceived mean.
+	if uncapped.Retries < 500 {
+		t.Errorf("storm produced only %d retries", uncapped.Retries)
+	}
+	if uncapped.RejectRate < 0.8*none.RejectRate {
+		t.Errorf("uncapped rejects %.4f fell well below baseline %.4f — storm model changed",
+			uncapped.RejectRate, none.RejectRate)
+	}
+	if uncapped.MeanMicros <= none.MeanMicros {
+		t.Errorf("storm churn did not inflate client latency: %.1f <= %.1f",
+			uncapped.MeanMicros, none.MeanMicros)
+	}
+	// The escape: backoff decorrelation converts rejects into completions.
+	if capped.RejectRate >= uncapped.RejectRate {
+		t.Errorf("capped backoff rejects %.4f did not drop below the storm's %.4f",
+			capped.RejectRate, uncapped.RejectRate)
+	}
+	if capped.GoodputRPS < uncapped.GoodputRPS {
+		t.Errorf("capped goodput %.0f below the storm's %.0f", capped.GoodputRPS, uncapped.GoodputRPS)
+	}
+	// Shedding drops at the dispatcher what would reject at a server: the
+	// client-perceived mean falls relative to backoff alone.
+	if shed.Shed == 0 {
+		t.Fatalf("shedding variant never shed: %+v", shed)
+	}
+	if shed.MeanMicros >= capped.MeanMicros {
+		t.Errorf("shedding mean %.1f did not beat capped-only %.1f", shed.MeanMicros, capped.MeanMicros)
+	}
+	// Goodput accounting must be visible, not hidden: saturated rows carry a
+	// real reject rate.
+	if uncapped.RejectRate <= 0 || uncapped.RejectRate > 1 {
+		t.Errorf("reject rate not surfaced: %+v", uncapped)
+	}
+}
+
+// TestFleetControlHedgeCurve: on the straggler fleet, some hedge deadline
+// cuts the P99 below the unhedged baseline, wins are real, and the waste
+// column quantifies what the wins cost.
+func TestFleetControlHedgeCurve(t *testing.T) {
+	rows := FleetControl(fleetControlTestOptions())
+	hedge := controlRowsBy(t, rows, "hedge")
+	off := hedge["off"][0]
+	improved := false
+	for v, rs := range hedge {
+		if v == "off" {
+			continue
+		}
+		r := rs[0]
+		if r.Hedges == 0 {
+			t.Errorf("variant %s never hedged: %+v", v, r)
+		}
+		if r.HedgeWins > 0 && r.P99Micros < off.P99Micros {
+			improved = true
+		}
+		if r.HedgeWins+r.HedgeWaste == 0 {
+			t.Errorf("variant %s: hedges with neither wins nor waste: %+v", v, r)
+		}
+	}
+	if !improved {
+		t.Errorf("no hedge deadline beat the unhedged P99 %.1fus", off.P99Micros)
+	}
+}
+
+// TestFleetControlScaleLag: the autoscaler reacts to bursts (scale-ups
+// happen), and a long cold-start lag can only hurt the tail relative to
+// instant activation.
+func TestFleetControlScaleLag(t *testing.T) {
+	rows := FleetControl(fleetControlTestOptions())
+	scale := controlRowsBy(t, rows, "scale")
+	fast, slow := scale["lag=0ms"], scale["lag=25ms"]
+	if len(fast) == 0 || len(slow) == 0 {
+		vs := make([]string, 0, len(scale))
+		for v := range scale {
+			vs = append(vs, v)
+		}
+		t.Fatalf("lag variants missing; have %v", vs)
+	}
+	if fast[0].ScaleUps == 0 {
+		t.Fatalf("autoscaler never scaled up under bursty load: %+v", fast[0])
+	}
+	if slow[0].P99Micros < fast[0].P99Micros {
+		t.Errorf("25ms cold-start lag IMPROVED the tail: %.1fus vs %.1fus — lag model broken",
+			slow[0].P99Micros, fast[0].P99Micros)
+	}
+}
+
+// TestFleetControlDeterministic: rows are identical for any sweep worker
+// count.
+func TestFleetControlDeterministic(t *testing.T) {
+	o := fleetControlTestOptions()
+	o.Parallel = 1
+	seq := FleetControl(o)
+	o.Parallel = 4
+	par := FleetControl(o)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("FleetControl rows depend on sweep worker count")
+	}
+}

@@ -22,10 +22,41 @@ type FleetLBRow struct {
 	MeanMicros float64
 	P99Micros  float64
 	TailToAvg  float64
+	// Completed and Rejected split the responded requests; the latency
+	// columns above are computed over Completed only, so without the
+	// Rejected/RejectRate columns a config that sheds heavily would look
+	// faster than one that serves everything.
+	Completed uint64
 	// Rejected counts requests dropped at admission across the fleet.
 	Rejected uint64
+	// RejectRate is Rejected/(Completed+Rejected).
+	RejectRate float64
+	// RejectParity marks whether every policy at this row's load point
+	// responded at (near-)equal reject rates: when false, the latency
+	// comparison across policies at this load is not apples-to-apples —
+	// some policy is faster partly because it answered fewer requests.
+	RejectParity bool
 	// RemoteServed counts cross-server child RPCs shipped between servers.
 	RemoteServed uint64
+}
+
+// rejectRate is the goodput complement: rejected over responded.
+func rejectRate(completed, rejected uint64) float64 {
+	if resp := completed + rejected; resp > 0 {
+		return float64(rejected) / float64(resp)
+	}
+	return 0
+}
+
+// rejectParity reports whether a paired policy comparison happens at equal
+// reject rates: true when the spread across the group stays within half a
+// percentage point.
+func rejectParity(rates []float64) bool {
+	lo, hi := rates[0], rates[0]
+	for _, r := range rates[1:] {
+		lo, hi = min(lo, r), max(hi, r)
+	}
+	return hi-lo <= 0.005
 }
 
 // fleetLBConfig is the study's fleet: μManycore servers, one straggler
@@ -104,9 +135,25 @@ func FleetLB(o Options) []FleetLBRow {
 				MeanMicros:   res.Latency.Mean,
 				P99Micros:    res.Latency.P99,
 				TailToAvg:    res.TailToAvg,
+				Completed:    res.Completed,
 				Rejected:     res.Rejected,
+				RejectRate:   rejectRate(res.Completed, res.Rejected),
 				RemoteServed: res.RemoteServed,
 			})
+		}
+	}
+	// Annotate each load column: aware-vs-oblivious latency comparisons are
+	// only apples-to-apples when every policy responded at the same reject
+	// rate. Policies at one load share arrivals, so any spread here means
+	// routing itself changed who got served.
+	for j := range o.Loads {
+		rates := make([]float64, len(policies))
+		for i := range policies {
+			rates[i] = rows[i*len(o.Loads)+j].RejectRate
+		}
+		parity := rejectParity(rates)
+		for i := range policies {
+			rows[i*len(o.Loads)+j].RejectParity = parity
 		}
 	}
 	return rows

@@ -49,6 +49,46 @@ func TestFleetLBPoliciesSeparate(t *testing.T) {
 	}
 }
 
+// TestFleetLBGoodputColumns pins the accounting bugfix: every row carries
+// the responded split (Completed, Rejected, RejectRate) next to the latency
+// columns, and rows in one load column agree on the reject-parity
+// annotation — the flag that marks when a policy's latency win came from
+// answering fewer requests.
+func TestFleetLBGoodputColumns(t *testing.T) {
+	rows := FleetLB(fleetLBTestOptions())
+	parity := make(map[float64]map[bool]bool)
+	for _, r := range rows {
+		if r.Completed == 0 {
+			t.Fatalf("row completed nothing: %+v", r)
+		}
+		if got := rejectRate(r.Completed, r.Rejected); r.RejectRate != got {
+			t.Fatalf("reject rate %v inconsistent with counts in %+v", got, r)
+		}
+		if parity[r.PerServerRPS] == nil {
+			parity[r.PerServerRPS] = make(map[bool]bool)
+		}
+		parity[r.PerServerRPS][r.RejectParity] = true
+	}
+	for load, seen := range parity {
+		if len(seen) != 1 {
+			t.Errorf("load %v: policies disagree on the parity annotation", load)
+		}
+	}
+}
+
+// TestRejectParity pins the annotation's threshold semantics.
+func TestRejectParity(t *testing.T) {
+	if !rejectParity([]float64{0, 0, 0}) {
+		t.Error("all-zero rates must be at parity")
+	}
+	if !rejectParity([]float64{0.101, 0.100, 0.104}) {
+		t.Error("sub-half-point spread must be at parity")
+	}
+	if rejectParity([]float64{0.01, 0.10}) {
+		t.Error("nine-point spread is not parity")
+	}
+}
+
 // TestFleetLBDeterministic: coupled fleets inside the sweep give identical
 // rows for any worker count.
 func TestFleetLBDeterministic(t *testing.T) {

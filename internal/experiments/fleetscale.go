@@ -21,7 +21,16 @@ type FleetScaleRow struct {
 	MeanMicros float64
 	P99Micros  float64
 	TailToAvg  float64
+	// Completed/Rejected split responded requests; latency columns cover
+	// Completed only, so RejectRate is what keeps heavy shedding from
+	// masquerading as speed.
+	Completed  uint64
 	Rejected   uint64
+	RejectRate float64
+	// RejectParity marks whether every policy at this fleet size responded
+	// at (near-)equal reject rates; false flags a latency comparison made
+	// on unequal goodput.
+	RejectParity bool
 	// RemoteServed counts cross-server child RPCs shipped between servers.
 	RemoteServed uint64
 	// EventsProcessed is the run's total fired simulation events — the
@@ -110,10 +119,24 @@ func FleetScale(o Options) []FleetScaleRow {
 				MeanMicros:      res.Latency.Mean,
 				P99Micros:       res.Latency.P99,
 				TailToAvg:       res.TailToAvg,
+				Completed:       res.Completed,
 				Rejected:        res.Rejected,
+				RejectRate:      rejectRate(res.Completed, res.Rejected),
 				RemoteServed:    res.RemoteServed,
 				EventsProcessed: res.EventsProcessed,
 			})
+		}
+	}
+	// Annotate each fleet-size column with reject-rate parity across
+	// policies, as in FleetLB.
+	for j := range o.FleetSizes {
+		rates := make([]float64, len(policies))
+		for i := range policies {
+			rates[i] = rows[i*len(o.FleetSizes)+j].RejectRate
+		}
+		parity := rejectParity(rates)
+		for i := range policies {
+			rows[i*len(o.FleetSizes)+j].RejectParity = parity
 		}
 	}
 	return rows

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"umanycore/internal/control"
 	"umanycore/internal/machine"
 	"umanycore/internal/stats"
 )
@@ -44,6 +45,37 @@ func EncodeResult(r *Result) ([]byte, error) {
 		Float("mean_utilization", r.MeanUtilization).
 		Int("events_processed", int64(r.EventsProcessed)).
 		RawArr("per_server", perServer)
+	if c := r.Control; c != nil {
+		// Control-loop accounting rides along so cached controlled cells keep
+		// their client-level shed/retry/goodput counters — losing these to the
+		// codec would silently zero the very numbers the control experiments
+		// sweep on.
+		o.Obj("control", func(co *stats.JSONObject) {
+			co.Int("submitted", int64(c.Submitted)).
+				Int("completed", int64(c.Completed)).
+				Int("rejected", int64(c.Rejected)).
+				Int("unfinished", c.Unfinished).
+				Int("retries", int64(c.Retries)).
+				Int("shed", int64(c.Shed)).
+				Int("attempts", int64(c.Attempts)).
+				Int("hedges", int64(c.Hedges)).
+				Int("hedge_wins", int64(c.HedgeWins)).
+				Int("hedge_waste", int64(c.HedgeWaste)).
+				Int("burn_edges", int64(c.BurnEdges)).
+				Int("scale_ups", int64(c.ScaleUps)).
+				Int("scale_downs", int64(c.ScaleDowns)).
+				Int("active_servers", int64(c.ActiveServers))
+			lat, _ := c.Latency.MarshalJSON()
+			co.Raw("latency", lat).
+				Float("tail_to_avg", c.TailToAvg)
+			if c.Sample != nil {
+				co.Obj("sample", func(s *stats.JSONObject) {
+					s.Float("sum", c.Sample.Sum()).
+						FloatArr("values", c.Sample.UnsafeValues())
+				})
+			}
+		})
+	}
 	// WallSeconds and Fabric are deliberately absent: wall clock and fabric
 	// execution diagnostics are outside the deterministic domain, and the
 	// cache payload must be a pure function of the simulation inputs.
@@ -66,6 +98,28 @@ type fleetResultJSON struct {
 	MeanUtilization float64           `json:"mean_utilization"`
 	EventsProcessed uint64            `json:"events_processed"`
 	PerServer       []json.RawMessage `json:"per_server"`
+	Control         *struct {
+		Submitted     uint64        `json:"submitted"`
+		Completed     uint64        `json:"completed"`
+		Rejected      uint64        `json:"rejected"`
+		Unfinished    int64         `json:"unfinished"`
+		Retries       uint64        `json:"retries"`
+		Shed          uint64        `json:"shed"`
+		Attempts      uint64        `json:"attempts"`
+		Hedges        uint64        `json:"hedges"`
+		HedgeWins     uint64        `json:"hedge_wins"`
+		HedgeWaste    uint64        `json:"hedge_waste"`
+		BurnEdges     uint64        `json:"burn_edges"`
+		ScaleUps      uint64        `json:"scale_ups"`
+		ScaleDowns    uint64        `json:"scale_downs"`
+		ActiveServers int64         `json:"active_servers"`
+		Latency       stats.Summary `json:"latency"`
+		TailToAvg     float64       `json:"tail_to_avg"`
+		Sample        *struct {
+			Sum    float64   `json:"sum"`
+			Values []float64 `json:"values"`
+		} `json:"sample"`
+	} `json:"control"`
 }
 
 // DecodeResult inverts EncodeResult.
@@ -98,6 +152,30 @@ func DecodeResult(b []byte) (*Result, error) {
 			}
 			r.PerServer[i] = sr
 		}
+	}
+	if c := m.Control; c != nil {
+		cs := &control.Stats{
+			Submitted:     c.Submitted,
+			Completed:     c.Completed,
+			Rejected:      c.Rejected,
+			Unfinished:    c.Unfinished,
+			Retries:       c.Retries,
+			Shed:          c.Shed,
+			Attempts:      c.Attempts,
+			Hedges:        c.Hedges,
+			HedgeWins:     c.HedgeWins,
+			HedgeWaste:    c.HedgeWaste,
+			BurnEdges:     c.BurnEdges,
+			ScaleUps:      c.ScaleUps,
+			ScaleDowns:    c.ScaleDowns,
+			ActiveServers: int(c.ActiveServers),
+			Latency:       c.Latency,
+			TailToAvg:     c.TailToAvg,
+		}
+		if c.Sample != nil {
+			cs.Sample = stats.RestoreSample(c.Sample.Values, c.Sample.Sum)
+		}
+		r.Control = cs
 	}
 	return r, nil
 }

@@ -38,6 +38,7 @@ package fleet
 import (
 	"time"
 
+	"umanycore/internal/control"
 	"umanycore/internal/machine"
 	"umanycore/internal/obs"
 	"umanycore/internal/pdes"
@@ -94,6 +95,13 @@ type Config struct {
 	// Results are bit-identical for every value; like Parallel, it is a
 	// worker count, never a simulation input.
 	ShardWorkers int
+	// Control, when non-nil and enabled, closes the front-end feedback
+	// loops on the coupled Run: retry-on-reject with capped exponential
+	// backoff, tail hedging, slo.burn-triggered load shedding, and
+	// windowed-p99 autoscaling (see internal/control). Requires Servers >=
+	// 2; RunIndependent has no dispatcher and rejects it. Client-level
+	// accounting lands in Result.Control.
+	Control *control.Config
 }
 
 // DefaultConfig returns the paper's 10-server fleet around the given
@@ -185,6 +193,12 @@ type Result struct {
 	// are deterministic; the cache codec ignores the whole struct like
 	// WallSeconds.
 	Fabric *pdes.Stats
+	// Control is the dispatcher control loop's client-level accounting
+	// (retries, hedges, sheds, scale events, client-perceived latency) when
+	// Config.Control enabled it; nil otherwise. Server-level fields above
+	// keep per-attempt semantics: with retries and hedging one client root
+	// can appear as several server submissions.
+	Control *control.Stats
 }
 
 // Run drives the coupled fleet at totalRPS: every server lives in its own
@@ -197,10 +211,16 @@ func Run(fc Config, app *workload.App, totalRPS float64, rc machine.RunConfig, s
 		panic("fleet: need at least one server")
 	}
 	if fc.Servers == 1 {
+		if fc.controlOn() {
+			panic("fleet: Config.Control needs a coupled fleet of >= 2 servers")
+		}
 		return runOneServer(fc, app, totalRPS, rc, seed)
 	}
 	return runCoupled(fc, app, totalRPS, rc, seed)
 }
+
+// controlOn reports whether a control loop is configured and enabled.
+func (fc Config) controlOn() bool { return fc.Control != nil && fc.Control.Enabled() }
 
 // runOneServer is the one-server fleet: a single engine, no peers, no
 // sharding. It mirrors machine.Run's setup sequence exactly so the result
@@ -329,6 +349,9 @@ func runOneServer(fc Config, app *workload.App, totalRPS float64, rc machine.Run
 func RunIndependent(fc Config, app *workload.App, totalRPS float64, rc machine.RunConfig, seed int64) *Result {
 	if fc.Servers <= 0 {
 		panic("fleet: need at least one server")
+	}
+	if fc.controlOn() {
+		panic("fleet: Config.Control needs the coupled Run (RunIndependent has no dispatcher)")
 	}
 	start := time.Now()
 	cross := fc.crossFrac()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"umanycore/internal/control"
 	"umanycore/internal/machine"
 	"umanycore/internal/obs"
 	"umanycore/internal/pdes"
@@ -137,6 +138,49 @@ func runCoupled(fc Config, app *workload.App, totalRPS float64, rc machine.RunCo
 		machines[s], cols[s], regs[s], teles[s] = m, col, reg, tele
 	}
 
+	// Front-end control loop (retry/backoff, hedging, shedding, autoscaling
+	// — see internal/control). The controller lives on the dispatcher shard;
+	// everything it learns from servers arrives as coupling messages, so its
+	// decisions are bit-identical for every ShardWorkers value.
+	var ctl *control.Controller
+	if fc.controlOn() {
+		ctl = control.New(dispEng, *fc.Control, n, rc.Warmup, seed)
+		if fc.Control.Sheds() {
+			// Burn-triggered shedding: each server runs a dedicated sampler
+			// whose only rule is the slo.burn budget burn against the control
+			// config's objective. Its fire/resolve edges (evaluated at tick
+			// boundaries) ship to the dispatcher one wire delay later — the
+			// same information lag any front-end signal has. The sampler uses
+			// a private empty registry and is never attached to the Result,
+			// so shedding works — and results stay cacheable — with or
+			// without user telemetry.
+			rule := telemetry.Rule{
+				Name: control.ShedRuleName, Kind: telemetry.RuleBurnRate,
+				SLOMicros: fc.Control.ShedSLOMicros, Budget: 0.01, Threshold: 1,
+			}
+			for s := range machines {
+				srv := s
+				eng := engs[s]
+				shed := telemetry.Start(eng, obs.NewRegistry(), horizon, telemetry.Options{
+					Interval:       fc.Control.ShedWindow,
+					Capacity:       64,
+					Rules:          []telemetry.Rule{rule},
+					NoEngineVitals: true,
+					OnAlert: func(a telemetry.Alert) {
+						if a.Rule != control.ShedRuleName {
+							return
+						}
+						firing := a.Firing
+						net.Send(srv+1, 0, eng.Now()+lookahead, func() {
+							ctl.BurnEdge(srv, firing)
+						})
+					},
+				})
+				machines[s].EnableControlTelemetry(shed)
+			}
+		}
+	}
+
 	// Couple the servers: a child RPC that draws the cross-server lottery
 	// ships to a uniformly random peer as an inter-shard message timestamped
 	// when it has crossed the wire; the peer's response retraces the path.
@@ -209,6 +253,29 @@ func runCoupled(fc Config, app *workload.App, totalRPS float64, rc machine.RunCo
 			epw.Set(st.EventsPerWindow())
 			prev = st
 		}
+		if ctl != nil {
+			// Control-loop self-observability rides the same registry and
+			// barrier cadence: counters delta-fed from the controller's
+			// deterministic client-level accounting, so control.* values
+			// are identical for every ShardWorkers value too.
+			retries := fabReg.Counter("control.retries")
+			hedges := fabReg.Counter("control.hedges")
+			shed := fabReg.Counter("control.shed")
+			scaleUps := fabReg.Counter("control.scale_ups")
+			active := fabReg.Gauge("control.active_servers")
+			var prevCtl control.Stats
+			updatePDES := updateFabric
+			updateFabric = func() {
+				updatePDES()
+				cs := ctl.Peek()
+				retries.Add(float64(cs.Retries - prevCtl.Retries))
+				hedges.Add(float64(cs.Hedges - prevCtl.Hedges))
+				shed.Add(float64(cs.Shed - prevCtl.Shed))
+				scaleUps.Add(float64(cs.ScaleUps - prevCtl.ScaleUps))
+				active.Set(float64(cs.ActiveServers))
+				prevCtl = cs
+			}
+		}
 		if rc.Telemetry != nil {
 			topt := *rc.Telemetry
 			topt.NoEngineVitals = true
@@ -234,16 +301,42 @@ func runCoupled(fc Config, app *workload.App, totalRPS float64, rc machine.RunCo
 		Servers:     n,
 		Outstanding: func(s int) int { return routed[s] - int(responded[s]) },
 	}
+	if ctl != nil {
+		// The controller routes through the same balancer and view, narrowed
+		// to the autoscaler's active prefix; each attempt's outcome returns
+		// to the dispatcher shard at the response's NIC egress plus one wire
+		// delay — the path a real front-end's acks take.
+		ctl.Bind(
+			func() int {
+				v := view
+				v.Servers = ctl.ActiveServers()
+				return bal.Pick(lbRng, v)
+			},
+			func(s int, onResp func(rejected bool)) {
+				routed[s]++
+				target := machines[s]
+				net.Send(0, s+1, dispEng.Now()+lookahead, func() {
+					target.SubmitRootCtl(func(done sim.Time, rejected bool) {
+						net.Send(s+1, 0, done+lookahead, func() { onResp(rejected) })
+					})
+				})
+			},
+		)
+	}
 	gap := machine.ArrivalGap(dispEng, rc, totalRPS)
 	var schedule func()
 	schedule = func() {
 		if dispEng.Now() >= rc.Duration {
 			return
 		}
-		s := bal.Pick(lbRng, view)
-		routed[s]++
-		target := machines[s]
-		net.Send(0, s+1, dispEng.Now()+lookahead, target.SubmitRoot)
+		if ctl != nil {
+			ctl.AdmitRoot()
+		} else {
+			s := bal.Pick(lbRng, view)
+			routed[s]++
+			target := machines[s]
+			net.Send(0, s+1, dispEng.Now()+lookahead, target.SubmitRoot)
+		}
 		dispEng.After(gap(), schedule)
 	}
 	dispEng.At(gap(), schedule)
@@ -256,6 +349,13 @@ func runCoupled(fc Config, app *workload.App, totalRPS float64, rc machine.RunCo
 	net.Run(horizon, func(barrier sim.Time) {
 		for s, m := range machines {
 			responded[s] = m.RespondedRoots()
+		}
+		if ctl != nil {
+			// Autoscaling evaluates only here: barrier times are identical
+			// across fabric modes, and with every shard quiescent the
+			// controller may schedule activation events at >= barrier — the
+			// pdes post-hook membership-change contract (see pdes.Net.Run).
+			ctl.AtBarrier(barrier)
 		}
 		if updateFabric != nil && fabTick > 0 && barrier >= nextFab {
 			updateFabric()
@@ -297,6 +397,9 @@ func runCoupled(fc Config, app *workload.App, totalRPS float64, rc machine.RunCo
 
 	out := aggregate(fc, app, totalRPS, rc, perServer)
 	out.Balancer = bal.Name()
+	if ctl != nil {
+		out.Control = ctl.Finish()
+	}
 	for _, m := range machines {
 		out.RemoteServed += m.RemoteServed
 	}

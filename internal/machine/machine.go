@@ -58,6 +58,10 @@ type Machine struct {
 	// tele receives measured end-to-end latencies when streaming telemetry
 	// is enabled (see EnableTelemetry in obs.go); nil disables at zero cost.
 	tele *telemetry.Sampler
+	// teleCtl is the control plane's dedicated sampler (the fleet load
+	// shedder's slo.burn watchdog — see EnableControlTelemetry); it sees the
+	// same latency stream as tele and is nil outside controlled fleet runs.
+	teleCtl *telemetry.Sampler
 
 	// remoteSend, when non-nil, couples this machine to a fleet: child RPCs
 	// that draw the RemoteCallFrac lottery are shipped to a peer server
@@ -164,6 +168,12 @@ type invocation struct {
 	// server's child RPC (coupled fleet): instead of recording end-to-end
 	// latency, respond calls it with the response's NIC-egress time.
 	onDone func(done sim.Time)
+	// onResp, when set on a root, reports the admission outcome to the
+	// fleet dispatcher's control loop (SubmitRootCtl): called exactly once
+	// with the virtual time the response — completion or admission reject —
+	// leaves this server's NIC, so the front end can retry, hedge, and
+	// account for rejections instead of the machine dropping them silently.
+	onResp func(done sim.Time, rejected bool)
 }
 
 // New builds a machine on the given engine serving a single request type.
@@ -410,7 +420,21 @@ func (m *Machine) pickInstance(svc int) *domain {
 // SubmitRoot injects one external request for the app's root service at the
 // current time. The request passes the top-level NIC and the ICN before
 // reaching its village.
-func (m *Machine) SubmitRoot() {
+func (m *Machine) SubmitRoot() { m.submitRoot(nil) }
+
+// SubmitRootCtl injects a root like SubmitRoot and additionally reports its
+// admission outcome: onResp is called exactly once, with the virtual time
+// the response (completion, or a §4.3 admission reject) leaves this
+// server's NIC, and whether it was a reject. The coupled fleet's control
+// loop dispatches through this so rejected roots come back to the front end
+// for retry/hedging accounting instead of vanishing into rejectedRoots.
+// Server-side accounting (Submitted, Completed, rejection counters, the
+// per-attempt latency sample) is unchanged.
+func (m *Machine) SubmitRootCtl(onResp func(done sim.Time, rejected bool)) {
+	m.submitRoot(onResp)
+}
+
+func (m *Machine) submitRoot(onResp func(done sim.Time, rejected bool)) {
 	m.Submitted++
 	now := m.eng.Now()
 	inv := &invocation{
@@ -420,6 +444,7 @@ func (m *Machine) SubmitRoot() {
 		start:    now,
 		lastCore: -1,
 		measured: now >= m.measureFrom,
+		onResp:   onResp,
 	}
 	dom := m.pickInstance(inv.svc.ID)
 	inv.dom = dom
@@ -596,6 +621,13 @@ func (m *Machine) reject(inv *invocation) {
 		m.respond(inv)
 	} else {
 		m.rejectedRoots++
+		if inv.onResp != nil {
+			// Control-dispatched root: instead of a silent drop, the
+			// rejection answers the front end. It turns around at the NIC
+			// boundary where the admission check lives (§4.3) — one ingress
+			// latency, no ICN crossing.
+			inv.onResp(m.eng.Now()+m.cfg.IngressLatency, true)
+		}
 	}
 }
 
@@ -1184,6 +1216,9 @@ func (m *Machine) respond(inv *invocation) {
 			}
 			m.trace.End(inv.span, at)
 		}
+		if inv.onResp != nil {
+			inv.onResp(at, false)
+		}
 		if inv.measured {
 			done := at
 			lat := (done - inv.start).Micros()
@@ -1192,6 +1227,9 @@ func (m *Machine) respond(inv *invocation) {
 				m.Latency.Add(lat)
 				if m.tele != nil {
 					m.tele.ObserveLatency(lat)
+				}
+				if m.teleCtl != nil {
+					m.teleCtl.ObserveLatency(lat)
 				}
 				byRoot := m.LatencyByRoot[root]
 				if byRoot == nil {

@@ -51,6 +51,13 @@ func (m *Machine) EnableObs(col *obs.Collector, reg *obs.Registry) {
 // at zero cost.
 func (m *Machine) EnableTelemetry(s *telemetry.Sampler) { m.tele = s }
 
+// EnableControlTelemetry attaches a second, control-plane sampler fed by
+// the same completion-time latency stream. The coupled fleet's load shedder
+// runs its slo.burn watchdog here, on a dedicated sampler with a private
+// registry, so it never perturbs (and never depends on) whatever telemetry
+// the run's user configured. Nil detaches at zero cost.
+func (m *Machine) EnableControlTelemetry(s *telemetry.Sampler) { m.teleCtl = s }
+
 // observeQueueDepth applies a queued-invocation delta and records the new
 // aggregate depth. Only called when m.mx != nil.
 func (m *Machine) observeQueueDepth(d int) {

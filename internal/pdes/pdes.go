@@ -62,6 +62,16 @@ type Net interface {
 	// non-nil, runs after each window on the coordinator with all shards
 	// quiescent — the hook for cross-shard state snapshots (e.g. a load
 	// balancer's stale queue views).
+	//
+	// Barrier-safe membership change: because every shard has finished its
+	// window when post runs, post may schedule new events on any shard's
+	// engine at times >= barrier (eng.At(barrier+d, ...)) without violating
+	// the no-event-in-the-past invariant, and barrier times themselves are a
+	// deterministic function of the lookahead alone — identical for every
+	// worker count and for the SingleEngine reference. This is the mechanism
+	// a model uses to change its own topology mid-run (e.g. an autoscaler
+	// activating a cold server): decide at the barrier, take effect at
+	// barrier + lag. TestPostHookScheduling pins the contract.
 	Run(horizon sim.Time, post func(barrier sim.Time))
 	// Stats reports the fabric's self-observability counters accumulated so
 	// far. Safe to call between windows (from a Run post hook) and after Run.

@@ -64,7 +64,7 @@ func Start(eng *sim.Engine, reg *obs.Registry, horizon sim.Time, opts Options) *
 		interval:       o.Interval,
 		horizon:        horizon,
 		tl:             NewTimeline(o.Interval, o.Capacity),
-		wd:             newWatchdog(reg, o.Rules),
+		wd:             newWatchdog(reg, o.Rules, o.OnAlert),
 		sketch:         stats.NewSketch(o.SketchAlpha),
 		win:            stats.NewSketch(o.SketchAlpha),
 		integrals:      make(map[string]float64),
@@ -84,6 +84,10 @@ func Start(eng *sim.Engine, reg *obs.Registry, horizon sim.Time, opts Options) *
 	}
 	return s
 }
+
+// Firing reports whether the named watchdog rule is currently firing —
+// the polling companion to Options.OnAlert for barrier-time consumers.
+func (s *Sampler) Firing(rule string) bool { return s.wd.firing(rule) }
 
 // ObserveLatency feeds one measured end-to-end latency (microseconds) at
 // the moment its request completes. The machine calls it from the same

@@ -60,6 +60,14 @@ type Options struct {
 	// sharded fleet sets it per server so each private engine's vitals stay
 	// distinguishable after the merge. Ignored when NoEngineVitals is set.
 	VitalsPrefix string
+	// OnAlert, when set, subscribes to the watchdog's fire/resolve edges:
+	// it is invoked synchronously inside the sampler tick that detected the
+	// transition (virtual time, after the alert is recorded), so consumers
+	// — the fleet's burn-triggered load shedder — react at tick boundaries
+	// deterministically. The callback runs on whatever engine hosts the
+	// sampler; cross-shard consumers must relay through the coupling fabric
+	// rather than mutate remote state directly.
+	OnAlert func(Alert)
 }
 
 // DefaultOptions returns the default sampling configuration (1ms interval,

@@ -132,10 +132,13 @@ type watchdog struct {
 	reg    *obs.Registry
 	states []*ruleState
 	alerts []Alert
+	// onAlert, when set, receives each transition as it is recorded (the
+	// Options.OnAlert subscription).
+	onAlert func(Alert)
 }
 
-func newWatchdog(reg *obs.Registry, rules []Rule) *watchdog {
-	w := &watchdog{reg: reg}
+func newWatchdog(reg *obs.Registry, rules []Rule, onAlert func(Alert)) *watchdog {
+	w := &watchdog{reg: reg, onAlert: onAlert}
 	for _, r := range rules {
 		w.states = append(w.states, &ruleState{rule: r})
 	}
@@ -229,19 +232,33 @@ func (st *ruleState) eval(reg *obs.Registry, now sim.Time, window sim.Time, win 
 }
 
 // tick evaluates every rule at virtual time now over the window that just
-// closed, appending fire/resolve alerts on state transitions.
+// closed, appending fire/resolve alerts on state transitions (and invoking
+// the OnAlert subscription, when installed, for each one).
 func (w *watchdog) tick(now sim.Time, window sim.Time, win *stats.Sketch) {
 	for _, st := range w.states {
 		v, ok := st.eval(w.reg, now, window, win)
 		if !ok {
 			continue
 		}
-		if v > st.rule.Threshold && !st.firing {
-			st.firing = true
-			w.alerts = append(w.alerts, Alert{Rule: st.rule.Name, At: now, Value: v, Threshold: st.rule.Threshold, Firing: true})
-		} else if v <= st.rule.Threshold && st.firing {
-			st.firing = false
-			w.alerts = append(w.alerts, Alert{Rule: st.rule.Name, At: now, Value: v, Threshold: st.rule.Threshold, Firing: false})
+		if firing := v > st.rule.Threshold; firing != st.firing {
+			st.firing = firing
+			a := Alert{Rule: st.rule.Name, At: now, Value: v, Threshold: st.rule.Threshold, Firing: firing}
+			w.alerts = append(w.alerts, a)
+			if w.onAlert != nil {
+				w.onAlert(a)
+			}
 		}
 	}
+}
+
+// firing reports whether the named rule is currently above threshold — the
+// poll-style companion to the OnAlert subscription (barrier-time consumers
+// read it with the sampler quiescent).
+func (w *watchdog) firing(rule string) bool {
+	for _, st := range w.states {
+		if st.rule.Name == rule {
+			return st.firing
+		}
+	}
+	return false
 }

@@ -37,8 +37,8 @@ fi
 # quick included. The fleet package includes the cross-server trace-stitching
 # tests (TestFleetStitchedTracing, TestStitchedObsShardWorkerDeterminism),
 # which exercise obs.Merge against the concurrent worker pool.
-echo "== go test -race (obs + sweep + sweepcache + telemetry + pdes + fleet + whatif) =="
-go test -race -short ./internal/obs/... ./internal/sweep/... ./internal/sweepcache/... ./internal/telemetry/... ./internal/pdes/... ./internal/fleet/... ./internal/whatif/...
+echo "== go test -race (obs + sweep + sweepcache + telemetry + pdes + fleet + control + whatif) =="
+go test -race -short ./internal/obs/... ./internal/sweep/... ./internal/sweepcache/... ./internal/telemetry/... ./internal/pdes/... ./internal/fleet/... ./internal/control/... ./internal/whatif/...
 
 # Cache gate: a cold run must fill the cache, a warm run must reuse it, a
 # verify run must recompute without a single byte of drift — and all three
@@ -73,6 +73,22 @@ go build -o "$cachedir/umprof" ./cmd/umprof
 cmp "$cachedir/shard1.json" "$cachedir/shard4.json"
 cmp "$cachedir/ex1.json" "$cachedir/ex4.json"
 echo "shard workers 1 vs 4 byte-identical (json + exemplars)"
+
+# Control gate: the closed-loop front end (retry with capped backoff+jitter,
+# tail hedging) routes every decision through coupling messages and its own
+# derived RNG stream, so the controlled fleet's JSON — client-level control
+# accounting included — must be byte-identical for the single-engine
+# reference and a 4-worker PDES. Same wall_seconds normalization as above.
+echo "== control loop -1-vs-4 shard workers =="
+"$cachedir/umprof" -app Text -rps 16000 -duration 40ms -warmup 10ms \
+    -servers 2 -lb rr -skew 1,3 -retries 2 -hedge 1ms -shard-workers -1 -json \
+    | sed -E 's/"wall_seconds":[0-9.eE+-]+/"wall_seconds":0/' >"$cachedir/ctl-ref.json"
+"$cachedir/umprof" -app Text -rps 16000 -duration 40ms -warmup 10ms \
+    -servers 2 -lb rr -skew 1,3 -retries 2 -hedge 1ms -shard-workers 4 -json \
+    | sed -E 's/"wall_seconds":[0-9.eE+-]+/"wall_seconds":0/' >"$cachedir/ctl-4.json"
+cmp "$cachedir/ctl-ref.json" "$cachedir/ctl-4.json"
+grep -q '"control":{"submitted":' "$cachedir/ctl-4.json"
+echo "control loop -1 vs 4 byte-identical (json incl. control accounting)"
 
 # What-if gate: the causal-profiling grid (traced paired-seed cells reduced
 # through the cell codec) must also be byte-identical across shard-worker

@@ -27,6 +27,7 @@
 package umanycore
 
 import (
+	"umanycore/internal/control"
 	"umanycore/internal/experiments"
 	"umanycore/internal/fleet"
 	"umanycore/internal/machine"
@@ -173,6 +174,15 @@ type (
 	// FabricStats is the PDES coupling's self-observability (windows,
 	// messages, lookahead utilization; FleetResult.Fabric on coupled runs).
 	FabricStats = pdes.Stats
+	// ControlConfig enables the front-end feedback loops on a coupled fleet
+	// (set on FleetConfig.Control): retry with capped exponential backoff,
+	// tail hedging, burn-triggered load shedding, and windowed-p99
+	// autoscaling — all deterministic over virtual time.
+	ControlConfig = control.Config
+	// ControlStats is the client-level accounting of a controlled run
+	// (FleetResult.Control): one root can cost several server attempts, so
+	// these counters — not the per-server sums — are what the client saw.
+	ControlStats = control.Stats
 )
 
 // Experiment types.
