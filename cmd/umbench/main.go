@@ -7,8 +7,8 @@
 //	        [-figures 1,2,3,...] [-json FILE]
 //	        [-cache DIR] [-cache-verify] [-cache-clear]
 //
-// Figure names: 1 2 3 4 5 6 7 8 9 e2e 15 18 19 20 68 power lb scale control
-// whatif.
+// Figure names: 1 2 3 4 5 6 7 8 9 e2e 15 18 19 20 68 power lb graph scale
+// control whatif.
 // Default: all. -parallel bounds the sweep worker pool (default: all cores)
 // and -shard-workers the per-fleet PDES worker pool; output is bit-identical
 // for any value of either.
@@ -49,7 +49,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	parallel := flag.Int("parallel", 0, "sweep workers (<=0: all cores); results are identical for any value")
 	shardWorkers := flag.Int("shard-workers", 0, "PDES shard workers per coupled fleet (0/1: sequential, -1: single-engine reference); results are identical for any value")
-	figures := flag.String("figures", "all", "comma-separated figure list (1..9, e2e, 15, 18, 19, 20, 68, power, lb, scale, control, whatif)")
+	figures := flag.String("figures", "all", "comma-separated figure list (1..9, e2e, 15, 18, 19, 20, 68, power, lb, graph, scale, control, whatif)")
 	baseline := flag.String("baseline", "", "diff this run's figure rows against a checked-in baseline JSON FILE and exit nonzero past -baseline-threshold")
 	baselineThreshold := flag.Float64("baseline-threshold", 5, "max |delta| percent tolerated by -baseline before failing")
 	baselineWarn := flag.Bool("baseline-warn", false, "report -baseline drift without failing (warn-only)")
@@ -111,7 +111,7 @@ func main() {
 		o = o.Quick()
 	}
 
-	known := []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "e2e", "15", "18", "19", "20", "68", "power", "lb", "scale", "control", "whatif"}
+	known := []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "e2e", "15", "18", "19", "20", "68", "power", "lb", "graph", "scale", "control", "whatif"}
 	want := map[string]bool{}
 	if *figures == "all" {
 		for _, f := range known {
@@ -156,6 +156,7 @@ func main() {
 		{"68", func() { sec68(o) }},
 		{"power", func() { powerTable() }},
 		{"lb", func() { fleetLB(o) }},
+		{"graph", func() { fleetGraph(o) }},
 		{"scale", func() { fleetScale(o) }},
 		{"control", func() { fleetControl(o) }},
 		{"whatif", func() { whatIfFig(o) }},
@@ -458,6 +459,26 @@ func fleetLB(o umanycore.ExperimentOptions) {
 	}
 	if anyUnequal {
 		fmt.Println(parityNote)
+	}
+	capturedRows = rows
+	if jsonOut != "" {
+		if err := writeRowsJSON(jsonOut, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "umbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func fleetGraph(o umanycore.ExperimentOptions) {
+	rows := umanycore.FleetGraph(o)
+	header("Service-graph study: layered DAGs placed across a coupled 4-server fleet, P99 [us]")
+	fmt.Printf("%-10s %6s %7s %9s %9s %10s %10s %10s %10s %10s %8s %10s\n",
+		"placement", "depth", "fanout", "services", "rps/srv", "mean", "p99", "tail/avg", "completed", "rejected", "rej%", "remote")
+	for _, r := range rows {
+		fmt.Printf("%-10s %6d %7d %9d %9.0f %10.1f %10.1f %10.2f %10d %10d %7.2f%% %10d\n",
+			r.Placement, r.Depth, r.Fanout, r.Services, r.PerServerRPS,
+			r.MeanMicros, r.P99Micros, r.TailToAvg,
+			r.Completed, r.Rejected, 100*r.RejectRate, r.RemoteServed)
 	}
 	capturedRows = rows
 	if jsonOut != "" {

@@ -227,3 +227,18 @@ func TestBadServeAddrExits(t *testing.T) {
 		t.Fatalf("stderr %q", stderr)
 	}
 }
+
+func TestGraphFigureRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	stdout, stderr, code := runMain(t, "-quick", "-figures", "graph")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"Service-graph study", "colocated", "spread", "random", "remote"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("graph figure output missing %q:\n%s", want, stdout)
+		}
+	}
+}

@@ -6,12 +6,19 @@
 // per-stage sums reconcile with the measured end-to-end latencies to the
 // picosecond.
 //
+// With -trace FILE the synthetic arrival process is replaced by an external
+// trace replay (see internal/svcgraph): each CSV record becomes one request,
+// typed by its root service and compute-scaled by its recorded demand, so
+// `umtrace -csv > t.csv && umprof -trace t.csv` closes the loop from trace
+// generation to tail blame.
+//
 // Examples:
 //
 //	umprof -arch serverclass -cores 40 -app CPost -rps 15000
 //	umprof -arch umanycore -mix -rps 20000 -top 5
-//	umprof -app HomeT -rps 12000 -trace out.json -spans spans.csv
+//	umprof -app HomeT -rps 12000 -chrome-trace out.json -spans spans.csv
 //	umprof -servers 10 -rps 100000 -json
+//	umtrace -requests 2000 -csv > t.csv && umprof -trace t.csv -servers 4 -rps 40000
 //	umprof -whatif -app HomeT -rps 12000
 //	umprof -whatif -whatif-stages rpc-proc,storage -whatif-factors 0.5,0 -json
 package main
@@ -30,6 +37,7 @@ import (
 	"umanycore/internal/obs"
 	"umanycore/internal/sim"
 	"umanycore/internal/stats"
+	"umanycore/internal/svcgraph"
 	"umanycore/internal/telemetry"
 	"umanycore/internal/whatif"
 	"umanycore/internal/workload"
@@ -49,7 +57,8 @@ func main() {
 	skew := flag.String("skew", "", "comma-separated per-server slowdown factors, e.g. 1,1,2 (needs -servers)")
 	shardWorkers := flag.Int("shard-workers", 0, "PDES shard workers for the coupled fleet (0/1: sequential, -1: single-engine reference); results are identical for any value (needs -servers)")
 	top := flag.Float64("top", 1, "tail fraction to analyze, in percent (1 = slowest 1%)")
-	traceOut := flag.String("trace", "", "also write a Chrome/Perfetto trace-event JSON to FILE")
+	traceIn := flag.String("trace", "", "replay an external trace CSV (umtrace -csv wire format) instead of synthetic arrivals; -rps rescales the trace to that mean rate when given explicitly")
+	traceOut := flag.String("chrome-trace", "", "also write a Chrome/Perfetto trace-event JSON to FILE")
 	spansOut := flag.String("spans", "", "also write every span as CSV to FILE")
 	metricsOut := flag.String("metrics", "", "also write the metrics snapshot as CSV to FILE")
 	jsonOut := flag.Bool("json", false, "print the report as JSON instead of a table")
@@ -103,6 +112,39 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var replay *svcgraph.Replay
+	if *traceIn != "" {
+		if *whatIf {
+			fatal(fmt.Errorf("-trace is not supported with -whatif (the what-if grid re-simulates synthetic arrivals)"))
+		}
+		if ctl != nil {
+			fatal(fmt.Errorf("-trace is not supported with control flags (arrivals are the trace's, not the controller's)"))
+		}
+		// -rps only rescales the replay when given explicitly; the default
+		// otherwise replays a 5-column trace verbatim at its recorded times.
+		rpsSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "rps" {
+				rpsSet = true
+			}
+		})
+		replayRPS := 0.0
+		if rpsSet {
+			replayRPS = *rps
+		}
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err := svcgraph.ParseTrace(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if replay, err = tr.Bind(app, replayRPS); err != nil {
+			fatal(err)
+		}
+	}
 	if *whatIf {
 		runWhatIf(cfg, app, whatIfCLI{
 			stages: *whatIfStages, factors: *whatIfFactors,
@@ -119,6 +161,7 @@ func main() {
 		Warmup:   sim.Time(warmup.Nanoseconds()) * umanycore.Nanosecond,
 		Seed:     *seed,
 		Obs:      umanycore.DefaultObs(),
+		Replay:   replay,
 	}
 	if *mix {
 		rc.Mix = umanycore.SocialNetworkMix()
@@ -147,6 +190,7 @@ func main() {
 	var latency umanycore.Summary
 	var label string
 	var fres *fleet.Result
+	var tc *traceCounts
 	if *servers > 0 {
 		fc := umanycore.DefaultFleet(cfg)
 		fc.Servers = *servers
@@ -166,10 +210,26 @@ func main() {
 		fres = umanycore.RunFleet(fc, app, *rps, rc, *seed)
 		orun, trun, latency = fres.Obs, fres.Telemetry, fres.Latency
 		label = fmt.Sprintf("%s x%d servers (%s)", fres.Machine, *servers, fres.Balancer)
+		if replay != nil {
+			tc = &traceCounts{
+				submitted: fres.Submitted, completed: fres.Completed,
+				rejected: fres.Rejected, unfinished: fres.Unfinished,
+			}
+		}
 	} else {
 		res := umanycore.Run(cfg, rc)
 		orun, trun, latency = res.Obs, res.Telemetry, res.Latency
 		label = res.Machine
+		if replay != nil {
+			tc = &traceCounts{
+				submitted: res.Submitted, completed: res.Completed,
+				rejected: res.Rejected, unfinished: res.Unfinished,
+			}
+		}
+	}
+	if tc != nil {
+		tc.records = replay.Records
+		tc.replayed = replay.Replayed(rc.Normalized().Duration)
 	}
 	if trun != nil {
 		telemetry.Publish(trun)
@@ -248,12 +308,20 @@ func main() {
 		fatal(fmt.Errorf("-fabric needs a coupled multi-server fleet (-servers 2 or more)"))
 	}
 	if *jsonOut {
-		printJSON(label, app.Name, *rps, duration.Seconds(), latency, rep, fres, *fabric)
+		printJSON(label, app.Name, *rps, duration.Seconds(), latency, rep, tc, fres, *fabric)
 		return
 	}
 	fmt.Printf("machine : %s\n", label)
 	fmt.Printf("workload: %s @ %.0f RPS%s\n", app.Name, *rps, mixTag(*mix))
 	fmt.Printf("latency : %s [us]\n", latency)
+	if tc != nil {
+		// Per-record completion closes the replay loop: every parsed record
+		// accounted for as replayed-in-window, completed, rejected or still
+		// in flight at drain end.
+		fmt.Printf("trace   : %d records, %d replayed in window; %d completed (%.1f%% of records), %d rejected, %d unfinished\n",
+			tc.records, tc.replayed, tc.completed,
+			100*float64(tc.completed)/float64(tc.records), tc.rejected, tc.unfinished)
+	}
 	if fres != nil {
 		// The latency line above covers completed requests only; the goodput
 		// line keeps heavy rejection from masquerading as speed.
@@ -279,6 +347,14 @@ func main() {
 		fmt.Println()
 		writeFabricTable(fres, *shardWorkers)
 	}
+}
+
+// traceCounts summarizes a -trace replay: how many parsed records arrived
+// inside the window and what happened to each submitted root.
+type traceCounts struct {
+	records, replayed              int
+	submitted, completed, rejected uint64
+	unfinished                     int64
 }
 
 // whatIfCLI carries the -whatif flag subset out of main.
@@ -441,12 +517,13 @@ func meanWindowUS(st *umanycore.FabricStats) float64 {
 
 // printJSON emits the report as one stable-order JSON object built with
 // stats.JSONObject — the fixed-field-order encoder shared with
-// umsim/umbench; the latency field uses stats.Summary's marshaling. Fleet
-// runs append a "fleet" section (goodput accounting, events, wall cost,
-// fabric rounds), controlled runs a "control" section with the client-level
+// umsim/umbench; the latency field uses stats.Summary's marshaling. Trace
+// replays append a "trace" section (per-record completion accounting), fleet
+// runs a "fleet" section (goodput accounting, events, wall cost, fabric
+// rounds), controlled runs a "control" section with the client-level
 // feedback-loop counters, and -fabric the full deterministic fabric
 // aggregates. Every field except fleet.wall_seconds is deterministic.
-func printJSON(machineName, appName string, rps, durationSec float64, latency umanycore.Summary, rep *umanycore.BlameReport, fres *fleet.Result, fabric bool) {
+func printJSON(machineName, appName string, rps, durationSec float64, latency umanycore.Summary, rep *umanycore.BlameReport, tc *traceCounts, fres *fleet.Result, fabric bool) {
 	lat, err := latency.MarshalJSON()
 	if err != nil {
 		fatal(err)
@@ -485,6 +562,16 @@ func printJSON(machineName, appName string, rps, durationSec float64, latency um
 				})
 			}
 		})
+	if tc != nil {
+		o.Obj("trace", func(to *stats.JSONObject) {
+			to.Int("records", int64(tc.records)).
+				Int("replayed", int64(tc.replayed)).
+				Int("submitted", int64(tc.submitted)).
+				Int("completed", int64(tc.completed)).
+				Int("rejected", int64(tc.rejected)).
+				Int("unfinished", tc.unfinished)
+		})
+	}
 	if fres != nil {
 		o.Obj("fleet", func(fo *stats.JSONObject) {
 			fo.Int("completed", int64(fres.Completed)).

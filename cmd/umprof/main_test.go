@@ -6,6 +6,8 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	"umanycore/internal/svcgraph"
 )
 
 // wallSecondsRe matches the one non-deterministic field of the fleet JSON
@@ -265,5 +267,85 @@ func TestSeriesCSV(t *testing.T) {
 	}
 	if !strings.Contains(string(b), "telemetry.latency.p99") {
 		t.Fatal("series csv missing the latency window series")
+	}
+}
+
+// writeTrace materializes a synthesized trace in the umtrace -csv wire
+// format for the replay tests.
+func writeTrace(t *testing.T, n int) string {
+	t.Helper()
+	path := t.TempDir() + "/trace.csv"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := svcgraph.WriteTrace(f, svcgraph.Synthesize(5, n)); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestTraceFlagValidationExits pins the replay flag's fail-fast contract:
+// unreadable files, malformed rows (named by line), and incompatible modes
+// all exit 2 before any simulation runs.
+func TestTraceFlagValidationExits(t *testing.T) {
+	good := writeTrace(t, 3)
+	bad := t.TempDir() + "/bad.csv"
+	if err := os.WriteFile(bad, []byte("arrival_us,service,duration_us,cpu_util,rpcs\n1,a,-2,0.5,3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-trace", t.TempDir() + "/nosuch.csv"}, "no such file"},
+		{[]string{"-trace", bad}, `trace line 2: duration_us "-2" must be positive`},
+		{[]string{"-trace", good, "-whatif"}, "not supported with -whatif"},
+		{[]string{"-trace", good, "-servers", "2", "-retries", "2"}, "not supported with control flags"},
+		{[]string{"-trace", good, "-app", "nosuch"}, "unknown app"},
+	} {
+		_, stderr, code := runMain(t, tc.args...)
+		if code != 2 {
+			t.Fatalf("%v: exit %d, want 2 (stderr %q)", tc.args, code, stderr)
+		}
+		if !strings.Contains(stderr, tc.want) {
+			t.Fatalf("%v: stderr %q missing %q", tc.args, stderr, tc.want)
+		}
+	}
+}
+
+// TestTraceReplayJSONShardWorkerInvariance is the CLI half of the replay
+// determinism contract (and the template for the scripts/ci.sh round-trip
+// gate): replaying one trace through the coupled fleet prints byte-identical
+// JSON — trace accounting included — for the single-engine reference and any
+// worker count.
+func TestTraceReplayJSONShardWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	trace := writeTrace(t, 400)
+	args := []string{
+		"-trace", trace, "-app", "CPost", "-rps", "20000",
+		"-duration", "30ms", "-warmup", "5ms", "-servers", "2", "-lb", "rr", "-json",
+	}
+	ref, stderr, code := runMain(t, append(args, "-shard-workers", "-1")...)
+	if code != 0 {
+		t.Fatalf("reference exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(ref, `"trace":{"records":400,`) {
+		t.Fatalf("replay run did not account for all 400 records: %s", ref)
+	}
+	if strings.Contains(ref, `"completed":0,`) {
+		t.Fatalf("replay completed nothing: %s", ref)
+	}
+	for _, w := range []string{"1", "4"} {
+		got, stderr, code := runMain(t, append(args, "-shard-workers", w)...)
+		if code != 0 {
+			t.Fatalf("workers=%s exit %d, stderr: %s", w, code, stderr)
+		}
+		if normalizeWall(got) != normalizeWall(ref) {
+			t.Fatalf("-shard-workers %s replay output diverged from -1 reference:\nref: %sgot: %s", w, ref, got)
+		}
 	}
 }

@@ -2,6 +2,15 @@
 // the §3 characterization inputs (Figs 2, 4, 5). It can emit raw records as
 // CSV or print the marginal statistics the paper reports.
 //
+// -csv emits the replayable wire format (see internal/svcgraph):
+//
+//	arrival_us,service,duration_us,cpu_util,rpcs
+//
+// with arrivals from a load-marginal-modulated Poisson process and root
+// services from the SocialNetwork request mix, so
+// `umtrace -csv > t.csv && umprof -trace t.csv` replays a synthesized
+// production trace through any simulated architecture.
+//
 // Data outputs (-csv, -load-cdf) go to stdout; the statistics report goes to
 // stderr, so `umtrace -csv > trace.csv` never mixes the two. A data flag
 // implies -stats=false unless -stats is given explicitly, in which case both
@@ -22,6 +31,7 @@ import (
 	"os"
 
 	"umanycore/internal/stats"
+	"umanycore/internal/svcgraph"
 	"umanycore/internal/workload"
 )
 
@@ -51,16 +61,19 @@ func main() {
 	defer w.Flush()
 
 	// One draw feeds both the CSV and the stats, so adding -stats to a -csv
-	// invocation reports on exactly the emitted records.
-	var recs []workload.TraceRecord
+	// invocation reports on exactly the emitted records. The marginal
+	// columns (duration/cpu_util/rpcs) are the historical Requests stream;
+	// arrivals and services come from their own derived-seed streams (see
+	// svcgraph.Synthesize), so the reported marginals are unchanged.
+	var recs []svcgraph.Record
 	if *csv || *showStats {
-		recs = g.Requests(*n)
+		recs = svcgraph.Synthesize(*seed, *n)
 	}
 
 	if *csv {
-		fmt.Fprintln(w, "duration_us,cpu_util,rpcs")
-		for _, r := range recs {
-			fmt.Fprintf(w, "%.1f,%.4f,%d\n", r.DurationMicros, r.CPUUtil, r.RPCs)
+		if err := svcgraph.WriteTrace(w, recs); err != nil {
+			fmt.Fprintln(os.Stderr, "umtrace:", err)
+			os.Exit(1)
 		}
 	}
 

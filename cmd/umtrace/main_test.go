@@ -36,12 +36,15 @@ func TestCSVGolden(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d", code)
 	}
-	want := "duration_us,cpu_util,rpcs\n" +
-		"1785.0,0.1051,27\n" +
-		"1324.6,0.1672,7\n" +
-		"123.2,0.0936,7\n" +
-		"4252.6,0.2860,6\n" +
-		"382.4,0.2058,6\n"
+	// The marginal columns (duration_us,cpu_util,rpcs) are the same stream
+	// the pre-replay 3-column format drew; arrivals and services come from
+	// derived-seed streams (svcgraph.Synthesize).
+	want := "arrival_us,service,duration_us,cpu_util,rpcs\n" +
+		"276.455,CPost,1785.0,0.1051,27\n" +
+		"2121.529,HomeT,1324.6,0.1672,7\n" +
+		"2576.845,HomeT,123.2,0.0936,7\n" +
+		"4045.106,HomeT,4252.6,0.2860,6\n" +
+		"6023.192,Text,382.4,0.2058,6\n"
 	if stdout != want {
 		t.Fatalf("csv drifted:\ngot:\n%swant:\n%s", stdout, want)
 	}

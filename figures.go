@@ -46,6 +46,9 @@ type (
 	// FleetLBRow is one (policy, load) point of the coupled-fleet
 	// load-balancer study.
 	FleetLBRow = experiments.FleetLBRow
+	// FleetGraphRow is one (placement, DAG shape) point of the coupled-fleet
+	// service-graph study.
+	FleetGraphRow = experiments.FleetGraphRow
 	// FleetScaleRow is one (policy, fleet size) point of the coupled-fleet
 	// scale study.
 	FleetScaleRow = experiments.FleetScaleRow
@@ -135,6 +138,13 @@ func Sec68(o ExperimentOptions) Sec68Result { return experiments.Sec68(o) }
 // random, least-outstanding, power-of-two-choices) on a coupled fleet with
 // one 3×-slower straggler: P99 vs offered load per policy.
 func FleetLB(o ExperimentOptions) []FleetLBRow { return experiments.FleetLB(o) }
+
+// FleetGraph compares service-placement policies (colocated, spread,
+// random) for explicit layered service DAGs on a coupled fleet: each
+// cross-edge RPC ships through the PDES fabric to wherever its callee
+// actually runs, so placement — not a coin-flip fraction — sets the
+// cross-server traffic on the tail's critical path.
+func FleetGraph(o ExperimentOptions) []FleetGraphRow { return experiments.FleetGraph(o) }
 
 // FleetScale sweeps the coupled fleet across o.FleetSizes (one 3× straggler
 // per four servers, per-server load held fixed) for every balancer policy:

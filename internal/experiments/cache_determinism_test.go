@@ -126,6 +126,7 @@ func TestCacheBatteryDrivers(t *testing.T) {
 		{"FleetLB", func(o Options) any { return FleetLB(o) }},
 		{"FleetScale", func(o Options) any { o.FleetSizes = []int{2, 4}; return FleetScale(o) }},
 		{"FleetControl", func(o Options) any { return FleetControl(o) }},
+		{"FleetGraph", func(o Options) any { return FleetGraph(o) }},
 	}
 	for _, f := range figs {
 		f := f

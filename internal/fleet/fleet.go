@@ -44,6 +44,7 @@ import (
 	"umanycore/internal/pdes"
 	"umanycore/internal/sim"
 	"umanycore/internal/stats"
+	"umanycore/internal/svcgraph"
 	"umanycore/internal/sweep"
 	"umanycore/internal/telemetry"
 	"umanycore/internal/workload"
@@ -59,8 +60,20 @@ type Config struct {
 	// server. With instances spread over N servers and uniform routing it
 	// is (N-1)/N, but deployments keep call chains local; 0.5 is the
 	// default. A one-server fleet has no peers, so the effective fraction
-	// clamps to zero when Servers == 1.
+	// clamps to zero when Servers == 1. Ignored in graph mode (Graph below):
+	// there, routing is the placement map, not a lottery.
 	CrossServerFrac float64
+	// Graph, when non-nil, runs the fleet as an explicit service-graph
+	// deployment (see internal/svcgraph): Graph.Placement assigns each
+	// catalog service to a subset of the servers, every server builds via
+	// machine.NewPlaced hosting only its assigned services, a child RPC to
+	// a service not hosted locally ships through the PDES fabric to a
+	// hosting peer (replacing the CrossServerFrac lottery), and the
+	// dispatcher's balancer routes each root over the servers hosting its
+	// root service. The trace source rides machine.RunConfig.Replay, so a
+	// graph fleet can replay external traces; the control loop is not
+	// supported in graph or replay mode.
+	Graph *svcgraph.Spec
 	// InterServerRTT is the server-to-server round trip (Table 2: 1μs).
 	InterServerRTT sim.Time
 	// LB names the load-balancer policy for the coupled Run: "rr"
@@ -116,9 +129,10 @@ func DefaultConfig(m machine.Config) Config {
 }
 
 // crossFrac is the effective cross-server probability: zero for a
-// one-server fleet (no peers exist), CrossServerFrac otherwise.
+// one-server fleet (no peers exist) and for graph mode (placement decides
+// routing), CrossServerFrac otherwise.
 func (fc Config) crossFrac() float64 {
-	if fc.Servers <= 1 {
+	if fc.Servers <= 1 || fc.Graph != nil {
 		return 0
 	}
 	return fc.CrossServerFrac
@@ -210,6 +224,17 @@ func Run(fc Config, app *workload.App, totalRPS float64, rc machine.RunConfig, s
 	if fc.Servers <= 0 {
 		panic("fleet: need at least one server")
 	}
+	if fc.Graph != nil {
+		if err := fc.Graph.Validate(app.Catalog, fc.Servers); err != nil {
+			panic(err)
+		}
+		if fc.controlOn() {
+			panic("fleet: Config.Graph does not support the control loop (the front end submits typed roots)")
+		}
+	}
+	if rc.Replay != nil && fc.controlOn() {
+		panic("fleet: trace replay does not support the control loop (arrivals are the trace's, not the controller's)")
+	}
 	if fc.Servers == 1 {
 		if fc.controlOn() {
 			panic("fleet: Config.Control needs a coupled fleet of >= 2 servers")
@@ -246,9 +271,14 @@ func runOneServer(fc Config, app *workload.App, totalRPS float64, rc machine.Run
 	for s := range machines {
 		mcfg := fc.serverConfig(s, cross)
 		var m *machine.Machine
-		if len(rc.Mix) > 0 {
+		switch {
+		case fc.Graph != nil:
+			// One-server graph: validation guarantees every service is
+			// hosted here, so all call edges stay local.
+			m = machine.NewPlaced(eng, mcfg, app.Catalog, fc.Graph.HostedOn(s))
+		case len(rc.Mix) > 0:
 			m = machine.NewMix(eng, mcfg, app.Catalog, rc.Mix)
-		} else {
+		default:
 			m = machine.New(eng, mcfg, app)
 		}
 		m.SetMeasureFrom(rc.Warmup)
@@ -291,16 +321,31 @@ func runOneServer(fc Config, app *workload.App, totalRPS float64, rc machine.Run
 		Servers:     fc.Servers,
 		Outstanding: func(s int) int { return machines[s].OutstandingRoots() },
 	}
-	gap := machine.ArrivalGap(eng, rc, totalRPS)
-	var schedule func()
-	schedule = func() {
-		if eng.Now() >= rc.Duration {
-			return
+	if rc.Replay != nil {
+		// Trace replay: arrivals, root types and demands come from the
+		// bound trace; the balancer still routes (with one server it
+		// returns 0 without touching its stream, matching machine.Run).
+		rc.Replay.Schedule(eng, rc.Duration, func(root int, demand float64) {
+			machines[bal.Pick(lbRng, view)].SubmitRootAs(root, demand)
+		})
+	} else {
+		submit := func(m *machine.Machine) { m.SubmitRoot() }
+		if fc.Graph != nil {
+			// A placed machine's default mix starts at its first hosted
+			// service; graph roots are typed explicitly.
+			submit = func(m *machine.Machine) { m.SubmitRootAs(app.Root, 0) }
 		}
-		machines[bal.Pick(lbRng, view)].SubmitRoot()
-		eng.After(gap(), schedule)
+		gap := machine.ArrivalGap(eng, rc, totalRPS)
+		var schedule func()
+		schedule = func() {
+			if eng.Now() >= rc.Duration {
+				return
+			}
+			submit(machines[bal.Pick(lbRng, view)])
+			eng.After(gap(), schedule)
+		}
+		eng.At(gap(), schedule)
 	}
-	eng.At(gap(), schedule)
 	eng.RunUntil(rc.Duration + rc.Drain)
 
 	// Per-server results, assembled in server order like machine.Run's
@@ -352,6 +397,12 @@ func RunIndependent(fc Config, app *workload.App, totalRPS float64, rc machine.R
 	}
 	if fc.controlOn() {
 		panic("fleet: Config.Control needs the coupled Run (RunIndependent has no dispatcher)")
+	}
+	if fc.Graph != nil {
+		panic("fleet: Config.Graph needs the coupled Run (independent servers cannot host a placed graph)")
+	}
+	if rc.Replay != nil {
+		panic("fleet: trace replay needs the coupled Run (an independent fleet would replay the whole trace per server)")
 	}
 	start := time.Now()
 	cross := fc.crossFrac()

@@ -95,9 +95,14 @@ func runCoupled(fc Config, app *workload.App, totalRPS float64, rc machine.RunCo
 	for s := range machines {
 		mcfg := fc.serverConfig(s, cross)
 		var m *machine.Machine
-		if len(rc.Mix) > 0 {
+		switch {
+		case fc.Graph != nil:
+			// Graph mode: this server hosts only its placed services; call
+			// edges to services living elsewhere ship through the fabric.
+			m = machine.NewPlaced(engs[s], mcfg, app.Catalog, fc.Graph.HostedOn(s))
+		case len(rc.Mix) > 0:
 			m = machine.NewMix(engs[s], mcfg, app.Catalog, rc.Mix)
-		} else {
+		default:
 			m = machine.New(engs[s], mcfg, app)
 		}
 		rngs[s] = sim.NewStreams(sim.DeriveSeed(seed, int64(s)))
@@ -181,20 +186,34 @@ func runCoupled(fc Config, app *workload.App, totalRPS float64, rc machine.RunCo
 		}
 	}
 
-	// Couple the servers: a child RPC that draws the cross-server lottery
-	// ships to a uniformly random peer as an inter-shard message timestamped
-	// when it has crossed the wire; the peer's response retraces the path.
-	// Peer choice draws from the source server's own bundle, so it is
-	// engine-independent like everything else the server randomizes.
-	if cross > 0 {
+	// Couple the servers. In graph mode a child RPC to a non-local service
+	// ships to a server hosting the callee (uniform over its hosts when
+	// replicated); otherwise a child RPC that draws the cross-server lottery
+	// ships to a uniformly random peer. Either way the message is
+	// timestamped when it has crossed the wire and the peer's response
+	// retraces the path. Peer choice draws from the source server's own
+	// bundle, so it is engine-independent like everything else the server
+	// randomizes.
+	if fc.Graph != nil || cross > 0 {
 		for s := range machines {
 			src := s
 			peerRng := rngs[src].Rand("fleet-peer")
 			var linkSeq uint64
-			machines[src].SetRemoteSender(func(svcID int, depart sim.Time, traced bool, respond func(done sim.Time)) uint64 {
-				p := peerRng.Intn(n - 1)
-				if p >= src {
-					p++
+			machines[src].SetRemoteSender(func(svcID int, demand float64, depart sim.Time, traced bool, respond func(done sim.Time)) uint64 {
+				var p int
+				if fc.Graph != nil {
+					// sendChild only ships non-local callees, so the host
+					// list never contains src.
+					hosts := fc.Graph.Hosts(svcID)
+					p = hosts[0]
+					if len(hosts) > 1 {
+						p = hosts[peerRng.Intn(len(hosts))]
+					}
+				} else {
+					p = peerRng.Intn(n - 1)
+					if p >= src {
+						p++
+					}
 				}
 				// Traced sends get a fleet-unique remote-link ID (source
 				// server in the high bits, per-server send ordinal below):
@@ -209,7 +228,7 @@ func runCoupled(fc Config, app *workload.App, totalRPS float64, rc machine.RunCo
 				}
 				peer := machines[p]
 				net.Send(src+1, p+1, depart, func() {
-					peer.SubmitRemote(svcID, link, func(done sim.Time) {
+					peer.SubmitRemote(svcID, demand, link, func(done sim.Time) {
 						// respond computes the return-path timing from done
 						// alone, so running it one wire delay later on the
 						// origin shard reproduces the reference exactly.
@@ -323,23 +342,58 @@ func runCoupled(fc Config, app *workload.App, totalRPS float64, rc machine.RunCo
 			},
 		)
 	}
-	gap := machine.ArrivalGap(dispEng, rc, totalRPS)
-	var schedule func()
-	schedule = func() {
-		if dispEng.Now() >= rc.Duration {
-			return
+	// pickServer routes one root. Plain fleets route over all servers; in
+	// graph mode the balancer sees only the servers hosting the root's
+	// service (a host list covering the whole fleet degenerates to the
+	// plain view — Validate guarantees it is then exactly 0..n-1).
+	pickServer := func(root int) int {
+		if fc.Graph == nil {
+			return bal.Pick(lbRng, view)
 		}
-		if ctl != nil {
-			ctl.AdmitRoot()
-		} else {
-			s := bal.Pick(lbRng, view)
+		hosts := fc.Graph.Hosts(root)
+		if len(hosts) == n {
+			return bal.Pick(lbRng, view)
+		}
+		sub := View{
+			Servers:     len(hosts),
+			Outstanding: func(i int) int { return view.Outstanding(hosts[i]) },
+		}
+		return hosts[bal.Pick(lbRng, sub)]
+	}
+	if rc.Replay != nil {
+		// Trace replay: arrivals, root types and demands come from the
+		// bound trace, routed through the same balancer machinery.
+		rc.Replay.Schedule(dispEng, rc.Duration, func(root int, demand float64) {
+			s := pickServer(root)
 			routed[s]++
 			target := machines[s]
-			net.Send(0, s+1, dispEng.Now()+lookahead, target.SubmitRoot)
+			net.Send(0, s+1, dispEng.Now()+lookahead, func() { target.SubmitRootAs(root, demand) })
+		})
+	} else {
+		gap := machine.ArrivalGap(dispEng, rc, totalRPS)
+		var schedule func()
+		schedule = func() {
+			if dispEng.Now() >= rc.Duration {
+				return
+			}
+			switch {
+			case ctl != nil:
+				ctl.AdmitRoot()
+			case fc.Graph != nil:
+				s := pickServer(app.Root)
+				routed[s]++
+				target := machines[s]
+				net.Send(0, s+1, dispEng.Now()+lookahead, func() { target.SubmitRootAs(app.Root, 0) })
+			default:
+				s := bal.Pick(lbRng, view)
+				routed[s]++
+				target := machines[s]
+				net.Send(0, s+1, dispEng.Now()+lookahead, target.SubmitRoot)
+			}
+			dispEng.After(gap(), schedule)
 		}
-		dispEng.After(gap(), schedule)
+		dispEng.At(gap(), schedule)
 	}
-	dispEng.At(gap(), schedule)
 
 	// Run to horizon; at every window barrier, refresh the dispatcher's
 	// snapshot of how many roots each server has answered, and (throttled)

@@ -68,6 +68,12 @@ type Machine struct {
 	// through it instead of paying a probabilistic latency add locally.
 	remoteSend RemoteSender
 
+	// local, non-nil on a placed machine (NewPlaced — a fleet service-graph
+	// server), marks which services are hosted here. A child RPC to a
+	// non-local service always ships through remoteSend; the RemoteCallFrac
+	// lottery is bypassed entirely.
+	local []bool
+
 	// sp holds the effective what-if cost multipliers (all 1 when
 	// Config.WhatIf is zero), precomputed at construction.
 	sp stageScale
@@ -98,15 +104,17 @@ func (m *Machine) rand(name string) *rand.Rand {
 }
 
 // RemoteSender ships one cross-server child RPC into the fleet: svcID is
-// the callee service, depart the virtual time the request has left this
-// server's NIC (half the inter-server RTT already paid), and respond must
-// be called exactly once with the virtual time the peer's response leaves
-// the peer server. traced says the caller recorded an invoke span for this
-// RPC; when set, the fleet mints a fleet-unique remote-link ID, hands it to
-// the peer's SubmitRemote so the peer traces the served subtree under that
-// link, and returns it so the caller can tag its invoke span (obs.Merge
-// stitches the two halves). Untraced sends return 0.
-type RemoteSender func(svcID int, depart sim.Time, traced bool, respond func(done sim.Time)) (link uint64)
+// the callee service, demand the caller's trace-replay compute-demand
+// multiplier (0 = unscaled; the peer applies it to the served subtree),
+// depart the virtual time the request has left this server's NIC (half the
+// inter-server RTT already paid), and respond must be called exactly once
+// with the virtual time the peer's response leaves the peer server. traced
+// says the caller recorded an invoke span for this RPC; when set, the
+// fleet mints a fleet-unique remote-link ID, hands it to the peer's
+// SubmitRemote so the peer traces the served subtree under that link, and
+// returns it so the caller can tag its invoke span (obs.Merge stitches the
+// two halves). Untraced sends return 0.
+type RemoteSender func(svcID int, demand float64, depart sim.Time, traced bool, respond func(done sim.Time)) (link uint64)
 
 type domain struct {
 	m        *Machine
@@ -168,6 +176,10 @@ type invocation struct {
 	// server's child RPC (coupled fleet): instead of recording end-to-end
 	// latency, respond calls it with the response's NIC-egress time.
 	onDone func(done sim.Time)
+	// demand scales every compute sample of this invocation and is
+	// inherited by its children — trace replay's per-record service demand
+	// (see svcgraph.Arrival.Demand). Zero means unscaled.
+	demand float64
 	// onResp, when set on a root, reports the admission outcome to the
 	// fleet dispatcher's control loop (SubmitRootCtl): called exactly once
 	// with the virtual time the response — completion or admission reject —
@@ -185,6 +197,26 @@ func New(eng *sim.Engine, cfg Config, app *workload.App) *Machine {
 // one catalog (§5: the server receives the full application mix; figures
 // report per-type latencies).
 func NewMix(eng *sim.Engine, cfg Config, catalog *workload.Catalog, mix []workload.MixEntry) *Machine {
+	return newMachine(eng, cfg, catalog, mix, nil)
+}
+
+// NewPlaced builds a machine hosting only the given services of the
+// catalog — one server of a fleet service-graph deployment (see
+// fleet.Config.Graph and internal/svcgraph). The hosted services share the
+// machine's villages by equal-weight largest-remainder allocation: the
+// fleet-level placement, not a local request mix, decides who lives here.
+// Child RPCs to services outside local always ship through the
+// RemoteSender. The request mix defaults to the first hosted service so an
+// untyped SubmitRoot still resolves; graph fleets submit typed roots via
+// SubmitRootAs.
+func NewPlaced(eng *sim.Engine, cfg Config, catalog *workload.Catalog, local []int) *Machine {
+	if len(local) == 0 {
+		panic("machine: NewPlaced needs at least one local service")
+	}
+	return newMachine(eng, cfg, catalog, []workload.MixEntry{{Root: local[0], Weight: 1}}, local)
+}
+
+func newMachine(eng *sim.Engine, cfg Config, catalog *workload.Catalog, mix []workload.MixEntry, local []int) *Machine {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -239,9 +271,21 @@ func NewMix(eng *sim.Engine, cfg Config, catalog *workload.Catalog, mix []worklo
 		panic(err)
 	}
 	m.applyHeterogeneity()
-	if cfg.Extensions.ColocatedServices > 1 {
+	if local != nil {
+		m.local = make([]bool, len(catalog.Services))
+		for _, svc := range local {
+			if svc < 0 || svc >= len(catalog.Services) {
+				panic(fmt.Sprintf("machine: local service %d outside catalog of %d", svc, len(catalog.Services)))
+			}
+			m.local[svc] = true
+		}
+	}
+	switch {
+	case local != nil:
+		m.placeLocal(local)
+	case cfg.Extensions.ColocatedServices > 1:
 		m.placeColocated()
-	} else {
+	default:
 		m.placeInstances()
 	}
 	// Populate the top-level NIC's ServiceMap from the placement (§4.2:
@@ -298,6 +342,30 @@ func (m *Machine) placeInstances() {
 	for _, e := range m.mix {
 		walk(e.Root, e.Weight)
 	}
+	m.allocateDomains(weights)
+}
+
+// placeLocal allocates domains across an explicitly hosted service set with
+// equal weights: the fleet-level placement spec already decided which
+// services live on this server, so each gets an equal share of villages
+// (same largest-remainder scheme as placeInstances).
+func (m *Machine) placeLocal(local []int) {
+	if m.cfg.Placement == RandomPlacement {
+		for _, svc := range local {
+			m.instances[svc] = m.domains
+		}
+		return
+	}
+	weights := make(map[int]float64, len(local))
+	for _, svc := range local {
+		weights[svc] = 1
+	}
+	m.allocateDomains(weights)
+}
+
+// allocateDomains assigns hosting domains proportionally to per-service
+// weights: largest-remainder with a minimum of one domain each.
+func (m *Machine) allocateDomains(weights map[int]float64) {
 	var total float64
 	for _, w := range weights {
 		total += w
@@ -434,16 +502,29 @@ func (m *Machine) SubmitRootCtl(onResp func(done sim.Time, rejected bool)) {
 	m.submitRoot(onResp)
 }
 
+// SubmitRootAs injects one external root request of an explicit service
+// type with a compute-demand multiplier (0 = unscaled) — the trace-replay
+// and fleet service-graph entry point. Ingress path and root accounting
+// match SubmitRoot exactly; only the mixture draw is bypassed.
+func (m *Machine) SubmitRootAs(svcID int, demand float64) {
+	m.submitRootSvc(svcID, demand, nil)
+}
+
 func (m *Machine) submitRoot(onResp func(done sim.Time, rejected bool)) {
+	m.submitRootSvc(m.pickRoot(), 0, onResp)
+}
+
+func (m *Machine) submitRootSvc(svcID int, demand float64, onResp func(done sim.Time, rejected bool)) {
 	m.Submitted++
 	now := m.eng.Now()
 	inv := &invocation{
 		id:       m.nextInv(),
-		svc:      m.catalog.Service(m.pickRoot()),
+		svc:      m.catalog.Service(svcID),
 		root:     true,
 		start:    now,
 		lastCore: -1,
 		measured: now >= m.measureFrom,
+		demand:   demand,
 		onResp:   onResp,
 	}
 	dom := m.pickInstance(inv.svc.ID)
@@ -471,14 +552,15 @@ func (m *Machine) SetRemoteSender(f RemoteSender) { m.remoteSend = f }
 
 // SubmitRemote injects a child RPC arriving from a peer server at the
 // current time: it passes the top-level NIC and the ICN like an external
-// request, runs svcID's full invocation subtree on this machine, and calls
-// onDone with the virtual time the response leaves this server's NIC.
-// Remote invocations never enter the latency sample or the Submitted /
-// Completed root accounting; they are extra offered load. A nonzero link
+// request, runs svcID's full invocation subtree on this machine (compute
+// samples scaled by the caller's demand multiplier, 0 = unscaled), and
+// calls onDone with the virtual time the response leaves this server's
+// NIC. Remote invocations never enter the latency sample or the Submitted
+// / Completed root accounting; they are extra offered load. A nonzero link
 // (caller traced, tracing on here) opens a link-tagged envelope span so the
 // served subtree is recorded in this machine's collector and stitched under
 // the caller's invoke span by obs.Merge.
-func (m *Machine) SubmitRemote(svcID int, link uint64, onDone func(done sim.Time)) {
+func (m *Machine) SubmitRemote(svcID int, demand float64, link uint64, onDone func(done sim.Time)) {
 	m.RemoteServed++
 	now := m.eng.Now()
 	inv := &invocation{
@@ -486,6 +568,7 @@ func (m *Machine) SubmitRemote(svcID int, link uint64, onDone func(done sim.Time
 		svc:      m.catalog.Service(svcID),
 		start:    now,
 		lastCore: -1,
+		demand:   demand,
 		onDone:   onDone,
 	}
 	dom := m.pickInstance(svcID)
@@ -833,7 +916,7 @@ func (m *Machine) dispatch(c *core) {
 	if op.Kind != workload.OpCompute {
 		panic(fmt.Sprintf("machine: dispatch at non-compute op %v", op.Kind))
 	}
-	dur := sim.FromMicros(op.Time.Sample(m.rand("service")) / m.perfOf(c.dom))
+	dur := m.computeDur(inv, op, c)
 	end := start + dur
 	if inv.span != 0 {
 		if popAt > inv.enqAt {
@@ -859,6 +942,18 @@ func (m *Machine) dispatch(c *core) {
 	m.eng.At(end, func() { m.segmentEnd(c, inv) })
 }
 
+// computeDur samples one compute stage's duration: the service-time draw,
+// scaled by the invocation's replay demand multiplier when one is set, over
+// the hosting domain's performance factor. The demand branch keeps
+// unscaled runs bit-identical to the pre-replay code path.
+func (m *Machine) computeDur(inv *invocation, op workload.Op, c *core) sim.Time {
+	us := op.Time.Sample(m.rand("service"))
+	if inv.demand > 0 {
+		us *= inv.demand
+	}
+	return sim.FromMicros(us / m.perfOf(c.dom))
+}
+
 // injectCoherenceTraffic models directory/remote-cache messages under global
 // coherence: two 64B messages to the home directory's cluster.
 func (m *Machine) injectCoherenceTraffic(dom *domain) {
@@ -880,7 +975,7 @@ func (m *Machine) segmentEnd(c *core, inv *invocation) {
 	switch op.Kind {
 	case workload.OpCompute:
 		// Back-to-back compute (no blocking op between): keep running.
-		dur := sim.FromMicros(op.Time.Sample(m.rand("service")) / m.perfOf(c.dom))
+		dur := m.computeDur(inv, op, c)
 		if inv.span != 0 {
 			now := m.eng.Now()
 			m.trace.AddOnCore(inv.span, obs.StageService, c.id, now, now+dur)
@@ -992,7 +1087,14 @@ func (m *Machine) release(c *core) {
 // departs no earlier than the parent's state save completed.
 func (m *Machine) sendChild(c *core, parent *invocation, svcID int, saved sim.Time) {
 	rng := m.rand("icn")
-	if m.remoteSend != nil && m.cfg.RemoteCallFrac > 0 && rng.Float64() < m.cfg.RemoteCallFrac {
+	if m.local != nil {
+		// Placed machine: routing is the placement map, not a lottery — a
+		// call to a service not hosted here always ships to a hosting peer.
+		if !m.local[svcID] {
+			m.sendChildRemote(c, parent, svcID, saved)
+			return
+		}
+	} else if m.remoteSend != nil && m.cfg.RemoteCallFrac > 0 && rng.Float64() < m.cfg.RemoteCallFrac {
 		m.sendChildRemote(c, parent, svcID, saved)
 		return
 	}
@@ -1001,6 +1103,7 @@ func (m *Machine) sendChild(c *core, parent *invocation, svcID int, saved sim.Ti
 		svc:      m.catalog.Service(svcID),
 		parent:   parent,
 		lastCore: -1,
+		demand:   parent.demand,
 	}
 	if m.cfg.TreeAffinity {
 		child.dom = parent.dom
@@ -1061,7 +1164,7 @@ func (m *Machine) sendChildRemote(c *core, parent *invocation, svcID int, saved 
 		}
 	}
 	home := parent.dom
-	link := m.remoteSend(svcID, depart, span != 0, func(done sim.Time) {
+	link := m.remoteSend(svcID, parent.demand, depart, span != 0, func(done sim.Time) {
 		back := done + m.cfg.RemoteRTT/2
 		at := back
 		if m.cfg.IOViaICN {

@@ -8,6 +8,7 @@ import (
 	"umanycore/internal/obs"
 	"umanycore/internal/sim"
 	"umanycore/internal/stats"
+	"umanycore/internal/svcgraph"
 	"umanycore/internal/telemetry"
 	"umanycore/internal/workload"
 )
@@ -44,6 +45,14 @@ type RunConfig struct {
 	Drain sim.Time
 	// Arrivals selects the arrival process.
 	Arrivals ArrivalKind
+	// Replay, when non-nil, replaces the synthetic arrival process with an
+	// external trace (see svcgraph.Trace.Bind): requests arrive at the
+	// bound trace's virtual times inside the Duration window, each typed by
+	// its record's root service and compute-scaled by its per-record
+	// demand. RPS and Arrivals are ignored. Normalized defaults an empty
+	// Mix to Replay.Mix() so the machine hosts every root the trace
+	// submits.
+	Replay *svcgraph.Replay
 	// Seed drives all randomness.
 	Seed int64
 	// Obs, when non-nil, enables the observability layer for this run; the
@@ -69,6 +78,9 @@ func (rc RunConfig) Normalized() RunConfig {
 	}
 	if rc.Drain == 0 {
 		rc.Drain = 2 * sim.Second
+	}
+	if rc.Replay != nil && len(rc.Mix) == 0 {
+		rc.Mix = rc.Replay.Mix()
 	}
 	return rc
 }
@@ -161,17 +173,20 @@ func Run(cfg Config, rc RunConfig) *Result {
 		m.EnableTelemetry(tele)
 	}
 
-	arrivalGap := ArrivalGap(eng, rc, rc.RPS)
-
-	var schedule func()
-	schedule = func() {
-		if eng.Now() >= rc.Duration {
-			return
+	if rc.Replay != nil {
+		rc.Replay.Schedule(eng, rc.Duration, m.SubmitRootAs)
+	} else {
+		arrivalGap := ArrivalGap(eng, rc, rc.RPS)
+		var schedule func()
+		schedule = func() {
+			if eng.Now() >= rc.Duration {
+				return
+			}
+			m.SubmitRoot()
+			eng.After(arrivalGap(), schedule)
 		}
-		m.SubmitRoot()
-		eng.After(arrivalGap(), schedule)
+		eng.At(arrivalGap(), schedule)
 	}
-	eng.At(arrivalGap(), schedule)
 	eng.RunUntil(rc.Duration + rc.Drain)
 
 	res := BuildResult(m, eng, rc)

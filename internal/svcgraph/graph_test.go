@@ -1,0 +1,171 @@
+package svcgraph
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"umanycore/internal/dist"
+	"umanycore/internal/workload"
+)
+
+// twoSvcCatalog builds a minimal valid catalog: service 0 calls service 1.
+func twoSvcCatalog() *workload.Catalog {
+	compute := workload.Op{Kind: workload.OpCompute, Time: dist.Exponential{MeanV: 10}}
+	return &workload.Catalog{Services: []*workload.Service{
+		{ID: 0, Name: "root", Ops: []workload.Op{compute, {Kind: workload.OpCall, Callees: []int{1}}}},
+		{ID: 1, Name: "leaf", Ops: []workload.Op{compute}},
+	}}
+}
+
+func TestLayeredShape(t *testing.T) {
+	app := Layered(3, 2, 80)
+	if app.Name != "Graph-L3F2" || app.Root != 0 {
+		t.Fatalf("app = %q root %d", app.Name, app.Root)
+	}
+	if n := len(app.Catalog.Services); n != 7 {
+		t.Fatalf("levels=3 fanout=2 built %d services, want 7", n)
+	}
+	if err := app.Catalog.Validate(); err != nil {
+		t.Fatalf("layered catalog invalid: %v", err)
+	}
+	// Root fans out to services 1,2 in one parallel call stage.
+	root := app.Catalog.Service(0)
+	if root.Ops[1].Kind != workload.OpCall || !reflect.DeepEqual(root.Ops[1].Callees, []int{1, 2}) {
+		t.Fatalf("root call stage = %+v", root.Ops[1])
+	}
+	// Leaves have a storage stage and no calls.
+	leaf := app.Catalog.Service(6)
+	if leaf.Name != "L2N3" {
+		t.Fatalf("leaf name = %q", leaf.Name)
+	}
+	for _, op := range leaf.Ops {
+		if op.Kind == workload.OpCall {
+			t.Fatalf("leaf has a call stage: %+v", leaf.Ops)
+		}
+	}
+	if leaf.Ops[1].Kind != workload.OpStorage {
+		t.Fatalf("leaf ops = %+v", leaf.Ops)
+	}
+}
+
+func TestLayeredPanics(t *testing.T) {
+	for _, tc := range []struct{ levels, fanout int }{{0, 2}, {3, 0}, {7, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Layered(%d, %d) did not panic", tc.levels, tc.fanout)
+				}
+			}()
+			Layered(tc.levels, tc.fanout, 80)
+		}()
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	cat := twoSvcCatalog()
+	for _, tc := range []struct {
+		name    string
+		spec    *Spec
+		servers int
+		want    string // "" = valid
+	}{
+		{"colocated", Colocated(2, 3), 3, ""},
+		{"spread", Spread(2, 2), 2, ""},
+		{"single server", &Spec{Placement: [][]int{{0}, {0}}}, 1, ""},
+		{"no servers", Colocated(2, 1), 0, "needs servers > 0"},
+		{"wrong service count", &Spec{Placement: [][]int{{0}}}, 1, "covers 1 services, catalog has 2"},
+		{"unplaced service", &Spec{Placement: [][]int{{0}, {}}}, 1, `"leaf" (id 1) is placed on no server`},
+		{"host out of range", &Spec{Placement: [][]int{{0}, {2}}}, 2, "placed on server 2, fleet has 2"},
+		{"negative host", &Spec{Placement: [][]int{{-1}, {0}}}, 1, "placed on server -1"},
+		{"unsorted hosts", &Spec{Placement: [][]int{{1, 0}, {0}}}, 2, "strictly ascending"},
+		{"duplicate hosts", &Spec{Placement: [][]int{{0, 0}, {0}}}, 1, "strictly ascending"},
+		{"idle server", &Spec{Placement: [][]int{{0}, {0}}}, 2, "server 1 hosts no service"},
+	} {
+		err := tc.spec.Validate(cat, tc.servers)
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestValidateSurfacesCatalogErrors checks that graph validation reports the
+// same call-cycle, dangling-callee, and empty-stage errors the single-machine
+// path would — a bad catalog must not reach the fleet runner.
+func TestValidateSurfacesCatalogErrors(t *testing.T) {
+	compute := workload.Op{Kind: workload.OpCompute, Time: dist.Exponential{MeanV: 10}}
+	for _, tc := range []struct {
+		name string
+		cat  *workload.Catalog
+		want string
+	}{
+		{"call cycle", &workload.Catalog{Services: []*workload.Service{
+			{ID: 0, Name: "a", Ops: []workload.Op{compute, {Kind: workload.OpCall, Callees: []int{1}}}},
+			{ID: 1, Name: "b", Ops: []workload.Op{compute, {Kind: workload.OpCall, Callees: []int{0}}}},
+		}}, "call cycle through"},
+		{"dangling callee", &workload.Catalog{Services: []*workload.Service{
+			{ID: 0, Name: "a", Ops: []workload.Op{compute, {Kind: workload.OpCall, Callees: []int{7}}}},
+			{ID: 1, Name: "b", Ops: []workload.Op{compute}},
+		}}, "calls unknown service 7"},
+		{"no compute stage", &workload.Catalog{Services: []*workload.Service{
+			{ID: 0, Name: "a", Ops: []workload.Op{compute, {Kind: workload.OpCall, Callees: []int{1}}}},
+			{ID: 1, Name: "b", Ops: nil},
+		}}, "has no compute op"},
+		{"empty call stage", &workload.Catalog{Services: []*workload.Service{
+			{ID: 0, Name: "a", Ops: []workload.Op{compute, {Kind: workload.OpCall}}},
+			{ID: 1, Name: "b", Ops: []workload.Op{compute}},
+		}}, "call op without callees"},
+	} {
+		err := Colocated(2, 2).Validate(tc.cat, 2)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestHostedOnAndHosts(t *testing.T) {
+	sp := &Spec{Placement: [][]int{{0, 1}, {1}, {0}}}
+	if got := sp.HostedOn(0); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("HostedOn(0) = %v", got)
+	}
+	if got := sp.HostedOn(1); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("HostedOn(1) = %v", got)
+	}
+	if got := sp.Hosts(1); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("Hosts(1) = %v", got)
+	}
+}
+
+// TestRandomPlacement pins the constructor's contract: deterministic in the
+// seed, `replicas` hosts per service (clamped), every server covered, and
+// the result always validates against a catalog of that size.
+func TestRandomPlacement(t *testing.T) {
+	a := Random(5, 4, 2, 42)
+	b := Random(5, 4, 2, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different placements:\n%v\n%v", a.Placement, b.Placement)
+	}
+	hosted := make([]bool, 4)
+	for svc, hosts := range a.Placement {
+		if len(hosts) < 2 {
+			t.Fatalf("service %d has %d replicas, want >= 2", svc, len(hosts))
+		}
+		for _, h := range hosts {
+			hosted[h] = true
+		}
+	}
+	for s, ok := range hosted {
+		if !ok {
+			t.Fatalf("server %d left idle", s)
+		}
+	}
+	if c := Random(1, 3, 10, 7); len(c.Placement[0]) != 3 {
+		t.Fatalf("replicas not clamped to servers: %v", c.Placement)
+	}
+}

@@ -38,7 +38,7 @@ fi
 # tests (TestFleetStitchedTracing, TestStitchedObsShardWorkerDeterminism),
 # which exercise obs.Merge against the concurrent worker pool.
 echo "== go test -race (obs + sweep + sweepcache + telemetry + pdes + fleet + control + whatif) =="
-go test -race -short ./internal/obs/... ./internal/sweep/... ./internal/sweepcache/... ./internal/telemetry/... ./internal/pdes/... ./internal/fleet/... ./internal/control/... ./internal/whatif/...
+go test -race -short ./internal/obs/... ./internal/sweep/... ./internal/sweepcache/... ./internal/telemetry/... ./internal/pdes/... ./internal/fleet/... ./internal/control/... ./internal/whatif/... ./internal/svcgraph/...
 
 # Cache gate: a cold run must fill the cache, a warm run must reuse it, a
 # verify run must recompute without a single byte of drift — and all three
@@ -102,6 +102,51 @@ echo "== whatif 1-vs-4 shard workers =="
     -whatif-stages sched,net -whatif-factors 0.5,0 -json >"$cachedir/wi4.json"
 cmp "$cachedir/wi1.json" "$cachedir/wi4.json"
 echo "whatif shard workers 1 vs 4 byte-identical"
+
+# Trace round-trip gate: umtrace -csv must feed umprof -trace losslessly —
+# every record parsed, replayed through the coupled fleet, and the JSON
+# (trace accounting included) byte-identical for the single-engine reference
+# and 1/4 shard workers. This is the external-trace loop closed through the
+# real CLIs.
+echo "== trace round trip (umtrace -csv -> umprof -trace) =="
+go build -o "$cachedir/umtrace" ./cmd/umtrace
+"$cachedir/umtrace" -requests 1500 -csv >"$cachedir/trace.csv"
+for w in -1 1 4; do
+    "$cachedir/umprof" -trace "$cachedir/trace.csv" -app CPost -rps 40000 \
+        -duration 40ms -warmup 10ms -servers 4 -lb rr -shard-workers "$w" -json \
+        | sed -E 's/"wall_seconds":[0-9.eE+-]+/"wall_seconds":0/' >"$cachedir/replay$w.json"
+done
+cmp "$cachedir/replay-1.json" "$cachedir/replay1.json"
+cmp "$cachedir/replay-1.json" "$cachedir/replay4.json"
+grep -q '"trace":{"records":1500,' "$cachedir/replay4.json"
+echo "trace replay -1 vs 1 vs 4 byte-identical (1500 records round-tripped)"
+
+# Fail-fast gate: malformed traces and invalid graph figures must exit 2
+# with a diagnostic, before any simulation runs.
+echo "== trace/graph validation exits =="
+printf 'arrival_us,service,duration_us,cpu_util,rpcs\n1,a,-2,0.5,3\n' >"$cachedir/bad.csv"
+if "$cachedir/umprof" -trace "$cachedir/bad.csv" 2>"$cachedir/bad.err"; then
+    echo "umprof accepted a malformed trace" >&2; exit 1
+fi
+grep -q 'trace line 2' "$cachedir/bad.err"
+if "$cachedir/umprof" -trace "$cachedir/trace.csv" -whatif 2>"$cachedir/conflict.err"; then
+    echo "umprof accepted -trace with -whatif" >&2; exit 1
+fi
+grep -q 'not supported with -whatif' "$cachedir/conflict.err"
+if "$cachedir/umbench" -figures graph,bogus 2>"$cachedir/figs.err"; then
+    echo "umbench accepted an unknown figure" >&2; exit 1
+fi
+grep -q 'unknown figure' "$cachedir/figs.err"
+echo "validation paths exit 2 with diagnostics"
+
+# Graph figure smoke: the service-graph study runs end to end in quick mode
+# and shows the placement contrast (colocated ships nothing remotely).
+echo "== graph figure smoke =="
+"$cachedir/umbench" -quick -figures graph -cache "$cachedir/cells" >"$cachedir/graph.out"
+grep -q 'Service-graph study' "$cachedir/graph.out"
+grep -q 'colocated' "$cachedir/graph.out"
+grep -q 'spread' "$cachedir/graph.out"
+echo "graph figure OK"
 
 # Baseline gate (warn-only): diff the lb figure against the checked-in
 # snapshot and record a trajectory point. Deterministic sims mean any drift

@@ -27,6 +27,8 @@
 package umanycore
 
 import (
+	"io"
+
 	"umanycore/internal/control"
 	"umanycore/internal/experiments"
 	"umanycore/internal/fleet"
@@ -36,6 +38,7 @@ import (
 	"umanycore/internal/power"
 	"umanycore/internal/sim"
 	"umanycore/internal/stats"
+	"umanycore/internal/svcgraph"
 	"umanycore/internal/telemetry"
 	"umanycore/internal/whatif"
 	"umanycore/internal/workload"
@@ -160,6 +163,49 @@ type (
 	// TraceRecord is one request of an Alibaba-like production trace.
 	TraceRecord = workload.TraceRecord
 )
+
+// Service-graph workload types (see internal/svcgraph): explicit service
+// placement across a fleet and external trace replay.
+type (
+	// GraphSpec maps every service of a catalog to the servers hosting it
+	// (set on FleetConfig.Graph; each cross-edge RPC then ships to a real
+	// host of its callee instead of a coin-flip peer).
+	GraphSpec = svcgraph.Spec
+	// ExternalTrace is a parsed replayable trace (the umtrace -csv wire
+	// format).
+	ExternalTrace = svcgraph.Trace
+	// TraceReplay is a trace bound to an application's service names, ready
+	// to drive arrivals (set on RunConfig.Replay).
+	TraceReplay = svcgraph.Replay
+)
+
+// ParseTrace reads the replayable CSV wire format
+// (arrival_us,service,duration_us,cpu_util,rpcs — or the legacy 3-column
+// form) with strict, line-numbered validation.
+func ParseTrace(r io.Reader) (*ExternalTrace, error) { return svcgraph.ParseTrace(r) }
+
+// LayeredApp builds a layered service DAG — levels tiers, each non-leaf
+// calling fanout children in one parallel stage — for placement studies
+// (FleetConfig.Graph + GraphColocated/GraphSpread/GraphRandom).
+func LayeredApp(levels, fanout int, meanComputeMicros float64) *App {
+	return svcgraph.Layered(levels, fanout, meanComputeMicros)
+}
+
+// GraphColocated places every service on every server (no cross-server
+// edges; the regression anchor).
+func GraphColocated(services, servers int) *GraphSpec {
+	return svcgraph.Colocated(services, servers)
+}
+
+// GraphSpread stripes services round-robin, one host each — nearly every
+// call edge crosses servers.
+func GraphSpread(services, servers int) *GraphSpec { return svcgraph.Spread(services, servers) }
+
+// GraphRandom places each service on `replicas` servers drawn
+// deterministically from seed.
+func GraphRandom(services, servers, replicas int, seed int64) *GraphSpec {
+	return svcgraph.Random(services, servers, replicas, seed)
+}
 
 // Fleet types.
 type (
